@@ -1,0 +1,382 @@
+(* mlc — command-line driver for the multi-level cache locality toolkit.
+
+   Subcommands:
+     list                           show the benchmark inventory (Table 1)
+     simulate PROG                  run a program under a strategy, print metrics
+     layout PROG                    print the layout a strategy produces
+     arcs PROG                      text rendering of the paper's layout diagrams
+     fuse PROG                      fuse two nests, print the two-level accounting
+     tile N                         tile-size policies for NxN matmul + simulation *)
+
+open Cmdliner
+open Mlc_ir
+module Cs = Mlc_cachesim
+module An = Mlc_analysis
+module K = Mlc_kernels
+module L = Locality
+
+(* --- shared args -------------------------------------------------------- *)
+
+let machine_of = function
+  | "ultrasparc" -> Cs.Machine.ultrasparc
+  | "alpha" -> Cs.Machine.alpha21164
+  | other -> failwith (Printf.sprintf "unknown machine %s (ultrasparc|alpha)" other)
+
+let machine_arg =
+  let doc = "Cache machine: ultrasparc (16K/512K) or alpha (8K/128K/2M)." in
+  Arg.(value & opt string "ultrasparc" & info [ "machine" ] ~docv:"M" ~doc)
+
+let strategy_of = function
+  | "orig" -> L.Pipeline.Original
+  | "pad" -> L.Pipeline.Pad_l1
+  | "multilvlpad" -> L.Pipeline.Pad_multilevel
+  | "grouppad" -> L.Pipeline.Grouppad_l1
+  | "l2maxpad" -> L.Pipeline.Grouppad_l1_l2
+  | other ->
+      failwith
+        (Printf.sprintf
+           "unknown strategy %s (orig|pad|multilvlpad|grouppad|l2maxpad)" other)
+
+let strategy_arg =
+  let doc = "Layout strategy: orig, pad, multilvlpad, grouppad, l2maxpad." in
+  Arg.(value & opt string "pad" & info [ "strategy"; "s" ] ~docv:"S" ~doc)
+
+let prog_arg =
+  let doc = "Benchmark program name from Table 1 (see `mlc list`)." in
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"PROG" ~doc)
+
+let size_arg =
+  let doc = "Override the problem size." in
+  Arg.(value & opt (some int) None & info [ "n"; "size" ] ~docv:"N" ~doc)
+
+let build_program name size =
+  let entry = K.Registry.find name in
+  match (size, entry.K.Registry.build_sized) with
+  | Some n, Some f -> f n
+  | Some _, None ->
+      failwith (Printf.sprintf "%s has no size parameter" entry.K.Registry.name)
+  | None, _ -> entry.K.Registry.build ()
+
+(* --- list ---------------------------------------------------------------- *)
+
+let list_cmd =
+  let run () =
+    List.iter
+      (fun (e : K.Registry.entry) ->
+        Printf.printf "%-10s %-10s %s\n" e.K.Registry.name
+          (K.Registry.category_name e.K.Registry.category)
+          e.K.Registry.description)
+      K.Registry.all
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List the benchmark programs (Table 1).")
+    Term.(const run $ const ())
+
+(* --- simulate ------------------------------------------------------------- *)
+
+let simulate_cmd =
+  let run prog size strategy machine_name =
+    let machine = machine_of machine_name in
+    let p = build_program prog size in
+    Validate.check_exn p;
+    let orig = L.Experiment.run_strategy machine L.Pipeline.Original p in
+    let opt = L.Experiment.run_strategy machine (strategy_of strategy) p in
+    Format.printf "%s on %s@." p.Program.name machine.Cs.Machine.name;
+    Format.printf "  %a@." L.Experiment.pp_outcome orig;
+    Format.printf "  %a@." L.Experiment.pp_outcome opt;
+    Format.printf "  model-time improvement: %.2f%%@."
+      (L.Experiment.time_improvement ~baseline:orig opt)
+  in
+  let term = Term.(const run $ prog_arg $ size_arg $ strategy_arg $ machine_arg) in
+  Cmd.v
+    (Cmd.info "simulate"
+       ~doc:"Simulate a program under a layout strategy and print miss rates.")
+    term
+
+(* --- layout ---------------------------------------------------------------- *)
+
+let layout_cmd =
+  let run prog size strategy machine_name =
+    let machine = machine_of machine_name in
+    let p = build_program prog size in
+    let layout = L.Pipeline.layout_for machine (strategy_of strategy) p in
+    Format.printf "%s, strategy %s:@.%a" p.Program.name strategy Layout.pp layout;
+    let s1 = Cs.Machine.s1 machine in
+    Format.printf "bases mod S1 (%d):@." s1;
+    List.iter
+      (fun v -> Format.printf "  %-10s %d@." v (Layout.base layout v mod s1))
+      (Layout.array_names layout)
+  in
+  let term = Term.(const run $ prog_arg $ size_arg $ strategy_arg $ machine_arg) in
+  Cmd.v
+    (Cmd.info "layout" ~doc:"Print the memory layout a strategy produces.")
+    term
+
+(* --- arcs ------------------------------------------------------------------ *)
+
+let arcs_cmd =
+  let diagram_arg =
+    Arg.(value & flag & info [ "diagram" ] ~doc:"Render ASCII layout diagrams.")
+  in
+  let run prog size strategy machine_name diagram =
+    let machine = machine_of machine_name in
+    let p = build_program prog size in
+    let layout = L.Pipeline.layout_for machine (strategy_of strategy) p in
+    let s1 = Cs.Machine.s1 machine in
+    let line = Cs.Machine.level_line machine 0 in
+    if diagram then
+      print_string (An.Diagram.render_program layout ~size:s1 ~line p)
+    else
+    List.iteri
+      (fun i nest ->
+        Format.printf "nest %d:@." i;
+        let dots = An.Arcs.dots layout ~size:s1 nest in
+        List.iter
+          (fun d ->
+            Format.printf "  dot %-2d %-18s pos %6d@." d.An.Arcs.ref_index
+              (Ref_.to_string d.An.Arcs.ref_)
+              d.An.Arcs.position)
+          dots;
+        List.iter
+          (fun a ->
+            Format.printf "  arc %s: %d -> %d (span %d) %s@." a.An.Arcs.array
+              a.An.Arcs.trailing a.An.Arcs.leading a.An.Arcs.span
+              (if An.Arcs.arc_preserved dots ~size:s1 a then "PRESERVED"
+               else "lost"))
+          (An.Arcs.arcs layout nest);
+        let conflicts = An.Arcs.severe_conflicts layout ~size:s1 ~line nest in
+        Format.printf "  severe conflicts: %d@." (List.length conflicts))
+      p.Program.nests
+  in
+  let term =
+    Term.(const run $ prog_arg $ size_arg $ strategy_arg $ machine_arg $ diagram_arg)
+  in
+  Cmd.v
+    (Cmd.info "arcs"
+       ~doc:
+         "Render the layout-diagram model: dot positions, group-reuse arcs \
+          and severe conflicts per nest.")
+    term
+
+(* --- fuse ------------------------------------------------------------------ *)
+
+let fuse_cmd =
+  let nest_arg =
+    Arg.(value & opt int 0 & info [ "nest" ] ~docv:"I" ~doc:"Fuse nests I and I+1.")
+  in
+  let run prog size nest_idx machine_name =
+    let machine = machine_of machine_name in
+    let p = build_program prog size in
+    let fused = L.Fusion.fuse_program p nest_idx in
+    let s1 = Cs.Machine.s1 machine in
+    let layout_o = L.Pipeline.layout_for machine L.Pipeline.Grouppad_l1 p in
+    let layout_f = L.Pipeline.layout_for machine L.Pipeline.Grouppad_l1 fused in
+    let n1 = List.nth p.Program.nests nest_idx in
+    let n2 = List.nth p.Program.nests (nest_idx + 1) in
+    let core =
+      List.fold_left
+        (fun best nest ->
+          if List.length (Nest.refs nest) > List.length (Nest.refs best) then nest
+          else best)
+        (List.hd fused.Program.nests)
+        fused.Program.nests
+    in
+    let co = An.Fusion_model.count layout_o ~l1_size:s1 [ n1; n2 ] in
+    let cf = An.Fusion_model.count layout_f ~l1_size:s1 [ core ] in
+    Format.printf "original nests %d,%d: %a@." nest_idx (nest_idx + 1)
+      An.Fusion_model.pp_counts co;
+    Format.printf "fused:              %a@." An.Fusion_model.pp_counts cf;
+    let ro = L.Experiment.run_strategy machine L.Pipeline.Grouppad_l1_l2 p in
+    let rf = L.Experiment.run_strategy machine L.Pipeline.Grouppad_l1_l2 fused in
+    Format.printf "simulated: %a@.           %a@." L.Experiment.pp_outcome
+      { ro with L.Experiment.label = "original" }
+      L.Experiment.pp_outcome
+      { rf with L.Experiment.label = "fused" }
+  in
+  let term = Term.(const run $ prog_arg $ size_arg $ nest_arg $ machine_arg) in
+  Cmd.v
+    (Cmd.info "fuse"
+       ~doc:"Fuse two adjacent nests and print the Section 4 accounting.")
+    term
+
+(* --- tile ------------------------------------------------------------------ *)
+
+let tile_cmd =
+  let n_arg =
+    Arg.(required & pos 0 (some int) None & info [] ~docv:"N" ~doc:"Matrix size.")
+  in
+  let run n machine_name =
+    let machine = machine_of machine_name in
+    let elem = 8 in
+    let l1 = Cs.Machine.s1 machine in
+    let l2 = try Cs.Machine.level_size machine 1 with _ -> l1 in
+    let policies =
+      [
+        ("L1", l1, l1);
+        ("2xL1", l2, 2 * l1);
+        ("4xL1", l2, 4 * l1);
+        ("L2", l2, l2);
+      ]
+    in
+    Format.printf "matmul %dx%d:@." n n;
+    let orig = L.Tiling.matmul n in
+    let r = Interp.run machine (Layout.initial orig) orig in
+    Format.printf "  %-6s               %8.2f MFLOPS (model)@." "orig"
+      r.Interp.mflops;
+    List.iter
+      (fun (label, cache, cap) ->
+        let t =
+          L.Tile_size.select ~capacity_bytes:cap ~cache_bytes:cache ~elem
+            ~col_elems:n ~rows:n ()
+        in
+        let p =
+          L.Tiling.tiled_matmul ~n ~h:t.L.Tile_size.height ~w:t.L.Tile_size.width
+        in
+        let r = Interp.run machine (Layout.initial p) p in
+        Format.printf "  %-6s tile %4dx%-4d %8.2f MFLOPS (model)@." label
+          t.L.Tile_size.height t.L.Tile_size.width r.Interp.mflops)
+      policies
+  in
+  let term = Term.(const run $ n_arg $ machine_arg) in
+  Cmd.v
+    (Cmd.info "tile"
+       ~doc:"Compare tile-size policies on NxN matrix multiplication.")
+    term
+
+(* --- compile (full pipeline) --------------------------------------------------- *)
+
+let compile_cmd =
+  let scalar_arg =
+    Arg.(value & flag & info [ "scalar-replace" ]
+           ~doc:"Also remove register-carried loads from the stream.")
+  in
+  let run prog size machine_name scalar =
+    let machine = machine_of machine_name in
+    let p = build_program prog size in
+    let options =
+      { L.Compiler.default_options with L.Compiler.scalar_replace = scalar }
+    in
+    print_string (L.Compiler.report ~options machine p)
+  in
+  let term = Term.(const run $ prog_arg $ size_arg $ machine_arg $ scalar_arg) in
+  Cmd.v
+    (Cmd.info "compile"
+       ~doc:
+         "Run the whole pipeline (permute, fuse, pad) on a program and \
+          report original vs optimized metrics.")
+    term
+
+(* --- emit (code generation) --------------------------------------------------- *)
+
+let emit_cmd =
+  let lang_arg =
+    let doc =
+      "Output language: c (standalone C program), f77 (Fortran with the \
+       layout realized in a COMMON block) or mlc (kernel language)."
+    in
+    Arg.(value & opt string "c" & info [ "lang" ] ~docv:"L" ~doc)
+  in
+  let repeat_arg =
+    Arg.(value & opt int 1 & info [ "repeat" ] ~docv:"R" ~doc:"Repetitions in the emitted main.")
+  in
+  let run prog size strategy machine_name lang repeat =
+    let machine = machine_of machine_name in
+    let p = build_program prog size in
+    match lang with
+    | "mlc" -> print_string (Pretty.program p)
+    | "c" ->
+        let layout = L.Pipeline.layout_for machine (strategy_of strategy) p in
+        print_string (Mlc_codegen.Codegen_c.emit ~repeat layout p)
+    | "f77" ->
+        let layout = L.Pipeline.layout_for machine (strategy_of strategy) p in
+        print_string (Mlc_codegen.Codegen_f77.emit layout p)
+    | other -> failwith (Printf.sprintf "unknown language %s (c|f77|mlc)" other)
+  in
+  let term =
+    Term.(const run $ prog_arg $ size_arg $ strategy_arg $ machine_arg $ lang_arg
+          $ repeat_arg)
+  in
+  Cmd.v
+    (Cmd.info "emit"
+       ~doc:
+         "Emit a benchmark program as compilable C (with the strategy's \
+          pads physically realized) or as kernel-language source.")
+    term
+
+(* --- curve (stack-distance analysis) ----------------------------------------- *)
+
+let curve_cmd =
+  let run prog size =
+    let p = build_program prog size in
+    let layout = Layout.initial p in
+    let trace = Interp.trace layout p in
+    let sd = Cs.Stack_distance.analyze ~line:32 trace in
+    let total = float_of_int (Cs.Stack_distance.total sd) in
+    Format.printf
+      "%s: %d references, %d distinct lines (cold)@." p.Program.name
+      (Cs.Stack_distance.total sd) (Cs.Stack_distance.cold sd);
+    Format.printf "fully-associative LRU miss rates by capacity:@.";
+    List.iter
+      (fun kb ->
+        let lines = kb * 1024 / 32 in
+        let misses = Cs.Stack_distance.misses_at sd ~lines in
+        Format.printf "  %5dK (%6d lines): %6.2f%%%s@." kb lines
+          (100.0 *. float_of_int misses /. total)
+          (match kb with
+          | 16 -> "   <- L1 capacity"
+          | 512 -> "   <- L2 capacity"
+          | _ -> ""))
+      [ 1; 2; 4; 8; 16; 32; 64; 128; 256; 512; 1024 ]
+  in
+  let term = Term.(const run $ prog_arg $ size_arg) in
+  Cmd.v
+    (Cmd.info "curve"
+       ~doc:
+         "Stack-distance analysis: the program's miss-rate-vs-capacity \
+          curve, independent of conflicts.  Note: builds the full trace \
+          in memory, prefer small sizes.")
+    term
+
+(* --- run (source files) ------------------------------------------------------ *)
+
+let run_cmd =
+  let file_arg =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"FILE" ~doc:"Kernel-language source file.")
+  in
+  let run file strategy machine_name =
+    let machine = machine_of machine_name in
+    match Mlc_frontend.Parser.parse_file file with
+    | exception Mlc_frontend.Parser.Error (msg, line, col) ->
+        Printf.eprintf "%s:%d:%d: %s\n" file line col msg;
+        exit 1
+    | p ->
+        let orig = L.Experiment.run_strategy machine L.Pipeline.Original p in
+        let opt = L.Experiment.run_strategy machine (strategy_of strategy) p in
+        Format.printf "%s on %s@." p.Program.name machine.Cs.Machine.name;
+        Format.printf "  %a@." L.Experiment.pp_outcome orig;
+        Format.printf "  %a@." L.Experiment.pp_outcome opt;
+        Format.printf "  model-time improvement: %.2f%%@."
+          (L.Experiment.time_improvement ~baseline:orig opt)
+  in
+  let term = Term.(const run $ file_arg $ strategy_arg $ machine_arg) in
+  Cmd.v
+    (Cmd.info "run"
+       ~doc:
+         "Parse a kernel-language source file, optimize its layout and \
+          simulate it.")
+    term
+
+(* --------------------------------------------------------------------------- *)
+
+let () =
+  let info =
+    Cmd.info "mlc" ~version:"1.0.0"
+      ~doc:"Locality optimizations for multi-level caches (SC '99 reproduction)."
+  in
+  let group =
+    Cmd.group info
+      [ list_cmd; simulate_cmd; layout_cmd; arcs_cmd; fuse_cmd; tile_cmd; run_cmd; curve_cmd; emit_cmd; compile_cmd ]
+  in
+  exit (Cmd.eval group)

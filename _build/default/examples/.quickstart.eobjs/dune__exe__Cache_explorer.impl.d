@@ -1,0 +1,1 @@
+examples/cache_explorer.ml: Interp Layout List Locality Mlc_cachesim Mlc_ir Mlc_kernels Printf

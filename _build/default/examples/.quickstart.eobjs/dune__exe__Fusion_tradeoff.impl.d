@@ -1,0 +1,1 @@
+examples/fusion_tradeoff.ml: Format Interp Layout List Locality Mlc_analysis Mlc_cachesim Mlc_ir Mlc_kernels Nest Printf Program

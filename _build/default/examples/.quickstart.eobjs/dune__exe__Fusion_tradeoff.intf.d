@@ -1,0 +1,1 @@
+examples/fusion_tradeoff.mli:

@@ -1,0 +1,1 @@
+examples/matmul_tiling.ml: Interp Layout List Locality Mlc_cachesim Mlc_ir Mlc_native Printf Sys

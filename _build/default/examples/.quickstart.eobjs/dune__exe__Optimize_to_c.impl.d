@@ -1,0 +1,1 @@
+examples/optimize_to_c.ml: Filename In_channel Interp Layout List Locality Mlc_cachesim Mlc_codegen Mlc_ir Mlc_kernels Option Printf Program String Sys Unix

@@ -1,0 +1,1 @@
+examples/optimize_to_c.mli:

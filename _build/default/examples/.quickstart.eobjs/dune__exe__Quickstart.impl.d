@@ -1,0 +1,1 @@
+examples/quickstart.ml: Build Interp Layout List Locality Mlc_analysis Mlc_cachesim Mlc_ir Printf Program Validate

@@ -1,0 +1,1 @@
+examples/stencil_padding.ml: Interp Layout List Locality Mlc_analysis Mlc_cachesim Mlc_ir Mlc_kernels Printf Program

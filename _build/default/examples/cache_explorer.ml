@@ -1,0 +1,55 @@
+(* How much locality does each kernel offer to each cache level?
+   Stack-distance analysis gives the conflict-free miss-rate-vs-capacity
+   curve in one pass; comparing it with the direct-mapped simulation
+   separates capacity misses from conflict misses — the two quantities
+   the paper's padding transformations distinguish.
+
+     dune exec examples/cache_explorer.exe *)
+
+open Mlc_ir
+module Cs = Mlc_cachesim
+module K = Mlc_kernels
+module L = Locality
+
+let machine = Cs.Machine.ultrasparc
+
+let explore name p =
+  let layout = Layout.initial p in
+  let trace = Interp.trace layout p in
+  let sd = Cs.Stack_distance.analyze ~line:32 trace in
+  let total = float_of_int (Cs.Stack_distance.total sd) in
+  let rate_at kb =
+    100.0
+    *. float_of_int (Cs.Stack_distance.misses_at sd ~lines:(kb * 1024 / 32))
+    /. total
+  in
+  (* direct-mapped reality, packed and padded *)
+  let direct layout =
+    let r = Interp.run machine layout p in
+    100.0 *. List.hd r.Interp.miss_rates
+  in
+  let packed = direct layout in
+  let padded = direct (L.Pipeline.layout_for machine L.Pipeline.Pad_l1 p) in
+  Printf.printf "%-12s ideal@16K %6.2f%%   ideal@512K %6.2f%%   " name
+    (rate_at 16) (rate_at 512);
+  Printf.printf "direct-mapped 16K: packed %6.2f%%  padded %6.2f%%\n" packed padded
+
+let () =
+  Printf.printf
+    "Conflict-free (fully associative LRU) miss rates vs the simulated\n\
+     direct-mapped L1 — the gap between 'ideal@16K' and 'packed' is\n\
+     conflict misses; padding recovers most of it:\n\n";
+  List.iter
+    (fun (name, p) -> explore name p)
+    [
+      ("jacobi-200", K.Livermore.jacobi 200);
+      ("expl-200", K.Livermore.expl 200);
+      ("dot-64k", K.Livermore.dot 65_536);
+      ("adi-200", K.Livermore.adi 200);
+      ("figure2-256", K.Paper_examples.figure2 256);
+    ];
+  Printf.printf
+    "\nReading the table: 'ideal@16K' is the locality the L1 could\n\
+     capture with no conflicts; the paper's point is that padding gets\n\
+     the direct-mapped cache close to that bound, at which point the\n\
+     extra multi-level machinery has little left to win.\n"

@@ -1,0 +1,87 @@
+(* End-to-end: take a colliding program, run the full optimization
+   pipeline (permute, fuse, pad), emit both versions as C, compile them
+   with the system compiler and time them on this machine — the closest
+   this repository gets to the paper's UltraSparc timing runs.
+
+     dune exec examples/optimize_to_c.exe
+
+   (Skips gracefully when no C compiler is available.) *)
+
+open Mlc_ir
+module Cs = Mlc_cachesim
+module K = Mlc_kernels
+module L = Locality
+
+let machine = Cs.Machine.ultrasparc
+
+let have_cc () = Sys.command "cc --version > /dev/null 2>&1" = 0
+
+let compile_and_time label source =
+  let dir = Filename.temp_file "mlc_opt" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o700;
+  let c = Filename.concat dir "prog.c" in
+  let exe = Filename.concat dir "prog" in
+  let oc = open_out c in
+  output_string oc source;
+  close_out oc;
+  if Sys.command (Printf.sprintf "cc -O1 -o %s %s" exe c) <> 0 then
+    failwith "compilation failed";
+  let out = Filename.concat dir "out.txt" in
+  if Sys.command (Printf.sprintf "%s > %s" exe out) <> 0 then
+    failwith "run failed";
+  let lines = In_channel.with_open_text out In_channel.input_lines in
+  let seconds =
+    List.find_map
+      (fun l ->
+        match String.split_on_char ' ' l with
+        | [ "seconds"; s ] -> float_of_string_opt s
+        | _ -> None)
+      lines
+    |> Option.value ~default:nan
+  in
+  Printf.printf "  %-10s %.4f s (real, this machine)\n" label seconds;
+  seconds
+
+let () =
+  let p = K.Paper_examples.figure2 512 in
+  Printf.printf "program: %s (three 512x512 arrays, bases colliding mod 16K)\n\n"
+    p.Program.name;
+
+  (* 1. optimize *)
+  let r = L.Compiler.optimize machine p in
+  List.iter (fun l -> Printf.printf "  %s\n" l) r.L.Compiler.log;
+
+  (* 2. simulate both versions *)
+  let sim label layout prog =
+    let res = Interp.run machine layout prog in
+    Printf.printf "  %-10s L1 %5.2f%%  L2 %5.2f%%  (simulated)\n" label
+      (100.0 *. List.nth res.Interp.miss_rates 0)
+      (100.0 *. List.nth res.Interp.miss_rates 1)
+  in
+  print_newline ();
+  sim "original" (Layout.initial p) p;
+  sim "optimized" r.L.Compiler.layout r.L.Compiler.program;
+
+  (* 3. emit C for both and time them for real *)
+  print_newline ();
+  if not (have_cc ()) then
+    print_endline "  (no C compiler found; skipping the native timing step)"
+  else begin
+    let repeat = 50 in
+    let t0 =
+      compile_and_time "original"
+        (Mlc_codegen.Codegen_c.emit ~repeat (Layout.initial p) p)
+    in
+    let t1 =
+      compile_and_time "optimized"
+        (Mlc_codegen.Codegen_c.emit ~repeat r.L.Compiler.layout
+           r.L.Compiler.program)
+    in
+    if t0 > 0.0 && t1 > 0.0 then
+      Printf.printf "\n  real speedup on this machine: %.2fx\n" (t0 /. t1);
+    print_endline
+      "\n  (On a modern machine with large associative caches the speedup\n\
+      \   is far smaller than the simulated direct-mapped gap — which is\n\
+      \   itself a multi-level-caches-era lesson.)"
+  end

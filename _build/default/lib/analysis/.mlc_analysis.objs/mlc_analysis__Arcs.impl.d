@@ -1,0 +1,1 @@
+lib/analysis/arcs.ml: Expr Hashtbl Layout List Loop Mlc_ir Nest Ref_ Ref_group

@@ -1,0 +1,1 @@
+lib/analysis/arcs.mli: Layout Mlc_ir Nest Ref_

@@ -1,0 +1,1 @@
+lib/analysis/dependence.ml: Expr Hashtbl List Loop Mlc_ir Nest Ref_ Subscript

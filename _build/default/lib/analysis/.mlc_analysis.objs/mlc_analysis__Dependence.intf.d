@@ -1,0 +1,1 @@
+lib/analysis/dependence.mli: Mlc_ir Nest Ref_

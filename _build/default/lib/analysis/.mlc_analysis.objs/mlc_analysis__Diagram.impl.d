@@ -1,0 +1,1 @@
+lib/analysis/diagram.ml: Arcs Buffer Bytes Char Hashtbl List Mlc_ir Option Printf Program Ref_ String

@@ -1,0 +1,1 @@
+lib/analysis/diagram.mli: Layout Mlc_ir Nest Program

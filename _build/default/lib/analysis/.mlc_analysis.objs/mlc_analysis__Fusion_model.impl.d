@@ -1,0 +1,1 @@
+lib/analysis/fusion_model.ml: Arcs Format List Mlc_ir Nest Ref_

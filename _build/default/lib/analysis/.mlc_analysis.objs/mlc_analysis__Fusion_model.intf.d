@@ -1,0 +1,1 @@
+lib/analysis/fusion_model.mli: Format Layout Mlc_ir Nest Ref_

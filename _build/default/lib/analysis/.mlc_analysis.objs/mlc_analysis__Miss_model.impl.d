@@ -1,0 +1,1 @@
+lib/analysis/miss_model.ml: Dependence Expr Hashtbl List Loop Mlc_ir Nest Ref_group Reuse

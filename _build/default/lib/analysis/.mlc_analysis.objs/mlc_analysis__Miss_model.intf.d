@@ -1,0 +1,1 @@
+lib/analysis/miss_model.mli: Layout Mlc_ir Nest

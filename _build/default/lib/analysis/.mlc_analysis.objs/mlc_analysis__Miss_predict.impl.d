@@ -1,0 +1,1 @@
+lib/analysis/miss_predict.ml: Arcs Expr Float Hashtbl List Loop Mlc_cachesim Mlc_ir Nest Program Ref_group Reuse

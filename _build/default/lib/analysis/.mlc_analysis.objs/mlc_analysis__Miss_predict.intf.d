@@ -1,0 +1,1 @@
+lib/analysis/miss_predict.mli: Layout Mlc_cachesim Mlc_ir Nest Program

@@ -1,0 +1,1 @@
+lib/analysis/ref_group.ml: Expr Format Layout List Mlc_ir Nest Printf Ref_ String

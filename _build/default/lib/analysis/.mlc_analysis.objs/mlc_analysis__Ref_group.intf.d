@@ -1,0 +1,1 @@
+lib/analysis/ref_group.mli: Format Layout Mlc_ir Nest Ref_

@@ -1,0 +1,1 @@
+lib/analysis/reuse.ml: Expr Format Layout List Loop Mlc_ir Nest Printf Ref_ Ref_group

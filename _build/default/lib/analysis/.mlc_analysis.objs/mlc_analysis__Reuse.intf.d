@@ -1,0 +1,1 @@
+lib/analysis/reuse.mli: Format Layout Mlc_ir Nest Ref_

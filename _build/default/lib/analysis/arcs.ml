@@ -1,0 +1,132 @@
+open Mlc_ir
+
+type dot = {
+  ref_index : int;
+  ref_ : Ref_.t;
+  address : int;
+  position : int;
+}
+
+type arc = {
+  array : string;
+  trailing : int;
+  leading : int;
+  span : int;
+}
+
+type conflict = {
+  a : int;
+  b : int;
+  distance : int;
+}
+
+(* Environment with every loop variable at its lower bound; bounds may
+   reference outer variables, so bind outermost first. *)
+let first_iteration_env nest =
+  let bindings = Hashtbl.create 8 in
+  let env v =
+    match Hashtbl.find_opt bindings v with
+    | Some value -> value
+    | None -> invalid_arg ("Arcs: unbound loop variable " ^ v)
+  in
+  List.iter
+    (fun loop -> Hashtbl.replace bindings loop.Loop.var (Expr.eval env loop.Loop.lo))
+    nest.Nest.loops;
+  env
+
+let dots layout ~size nest =
+  let env = first_iteration_env nest in
+  Nest.refs nest
+  |> List.mapi (fun i r -> (i, r))
+  |> List.filter_map (fun (i, r) ->
+         if Ref_.is_affine r then
+           let address = Layout.address_of_ref layout env r in
+           Some { ref_index = i; ref_ = r; address; position = address mod size }
+         else None)
+
+let arcs layout ?(min_span = 1) nest =
+  let groups = Ref_group.of_nest layout nest in
+  List.concat_map
+    (fun g ->
+      let offsets = Ref_group.distinct_offsets g in
+      (* One representative member per distinct offset. *)
+      let repr o =
+        List.find (fun m -> m.Ref_group.offset_bytes = o) g.Ref_group.members
+      in
+      let rec pair = function
+        | lower :: (upper :: _ as rest) ->
+            let span = upper - lower in
+            let arc =
+              {
+                array = g.Ref_group.array;
+                trailing = (repr lower).Ref_group.index;
+                leading = (repr upper).Ref_group.index;
+                span;
+              }
+            in
+            if span >= min_span then arc :: pair rest else pair rest
+        | _ -> []
+      in
+      pair offsets)
+    groups
+
+let circular_distance size a b =
+  let d = (b - a) mod size in
+  let d = if d < 0 then d + size else d in
+  min d (size - d)
+
+let severe_conflicts layout ~size ~line ?(include_same_array = false) nest =
+  let ds = dots layout ~size nest in
+  let conflicts = ref [] in
+  let rec pairs = function
+    | [] -> ()
+    | d :: rest ->
+        List.iter
+          (fun d' ->
+            let different_array = d.ref_.Ref_.array <> d'.ref_.Ref_.array in
+            (* Same-array pairs conflict only when the two references are
+               far apart in memory yet land close on the cache — nearby
+               addresses on one line are group-spatial reuse, not a
+               conflict (and no amount of column padding would separate
+               them). *)
+            let same_array_distinct =
+              include_same_array
+              && d.ref_.Ref_.array = d'.ref_.Ref_.array
+              && abs (d.address - d'.address) >= line
+            in
+            if different_array || same_array_distinct then begin
+              let dist = circular_distance size d.position d'.position in
+              if dist < line then
+                conflicts := { a = d.ref_index; b = d'.ref_index; distance = dist } :: !conflicts
+            end)
+          rest;
+        pairs rest
+  in
+  pairs ds;
+  List.rev !conflicts
+
+(* A dot at position q lies strictly under the arc anchored at trailing
+   position p with the given span iff 0 < (q - p) mod size < span. *)
+let arc_preserved ds ~size arc =
+  if arc.span >= size then false
+  else
+    match List.find_opt (fun d -> d.ref_index = arc.trailing) ds with
+    | None -> false
+    | Some trailing_dot ->
+        let p = trailing_dot.position in
+        not
+          (List.exists
+             (fun d ->
+               if d.ref_index = arc.trailing || d.ref_index = arc.leading then false
+               else
+                 let rel = (d.position - p) mod size in
+                 let rel = if rel < 0 then rel + size else rel in
+                 rel > 0 && rel < arc.span)
+             ds)
+
+let preserved_arcs layout ~size nest =
+  let ds = dots layout ~size nest in
+  arcs layout nest |> List.filter (arc_preserved ds ~size)
+
+let preserved_count layout ~size nest =
+  List.length (preserved_arcs layout ~size nest)

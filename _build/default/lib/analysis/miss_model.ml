@@ -1,0 +1,74 @@
+open Mlc_ir
+
+(* Maximum trip count of each loop, evaluating bounds at enclosing-loop
+   extremes (good enough for cost ranking). *)
+let trip_counts nest =
+  let bounds = Hashtbl.create 8 in
+  List.iter
+    (fun loop ->
+      let eval_or corner e default =
+        try
+          Expr.eval
+            (fun v ->
+              match Hashtbl.find_opt bounds v with
+              | Some (lo, hi) -> if corner then hi else lo
+              | None -> raise Not_found)
+            e
+        with Not_found -> default
+      in
+      let lo = eval_or false loop.Loop.lo 0 in
+      let hi = eval_or true loop.Loop.hi lo in
+      Hashtbl.replace bounds loop.Loop.var (min lo hi, max lo hi))
+    nest.Nest.loops;
+  List.map
+    (fun loop ->
+      let lo, hi = Hashtbl.find bounds loop.Loop.var in
+      let trip = ((hi - lo) / abs loop.Loop.step) + 1 in
+      (loop.Loop.var, max 1 trip))
+    nest.Nest.loops
+
+let nest_cost layout ~line nest ~order =
+  let trips = trip_counts nest in
+  let trip v = try List.assoc v trips with Not_found -> 1 in
+  match List.rev order with
+  | [] -> 0.0
+  | inner :: outers ->
+      let outer_product =
+        List.fold_left (fun acc v -> acc *. float_of_int (trip v)) 1.0 outers
+      in
+      let groups = Ref_group.of_nest layout nest in
+      List.fold_left
+        (fun acc g ->
+          (* Cost one leader per group: group members share lines. *)
+          let leader = (List.hd g.Ref_group.members).Ref_group.ref_ in
+          let stride = abs (Reuse.stride_bytes layout leader inner) in
+          let inner_trip = float_of_int (trip inner) in
+          let lines =
+            if stride = 0 then 1.0
+            else if stride < line then
+              inner_trip *. float_of_int stride /. float_of_int line
+            else inner_trip
+          in
+          acc +. (lines *. outer_product))
+        0.0 groups
+
+let rank_permutations layout ~line nest =
+  let vars = Nest.vars nest in
+  let rec permutations = function
+    | [] -> [ [] ]
+    | xs ->
+        List.concat_map
+          (fun x ->
+            let rest = List.filter (fun y -> y <> x) xs in
+            List.map (fun p -> x :: p) (permutations rest))
+          xs
+  in
+  permutations vars
+  |> List.filter (Dependence.permutation_legal nest)
+  |> List.map (fun order -> (order, nest_cost layout ~line nest ~order))
+  |> List.sort (fun (_, a) (_, b) -> compare a b)
+
+let best_permutation layout ~line nest =
+  match rank_permutations layout ~line nest with
+  | (order, _) :: _ -> order
+  | [] -> Nest.vars nest

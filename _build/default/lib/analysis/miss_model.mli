@@ -1,0 +1,23 @@
+(** Static per-nest cache-cost estimation (Carr–McKinley–Tseng style
+    "loop cost"), used to rank candidate loop permutations.
+
+    For each uniformly generated group leader, the cost in cache lines of
+    executing the whole nest with a given loop innermost is:
+    1 line if the reference is invariant with respect to that loop,
+    [trip · stride / line] lines if it strides by less than a line,
+    [trip] lines otherwise — multiplied by the trips of all other loops.
+    Lower is better; this is what makes permutation benefit every cache
+    level at once (Section 2's argument). *)
+
+open Mlc_ir
+
+(** Estimated cache lines fetched by the nest if loops are executed in
+    [order] (outermost first).  Constant-bound rectangular nests only;
+    triangular bounds use their maximum extents. *)
+val nest_cost : Layout.t -> line:int -> Nest.t -> order:string list -> float
+
+(** All legal permutations ranked by cost, cheapest first. *)
+val rank_permutations : Layout.t -> line:int -> Nest.t -> (string list * float) list
+
+(** The memory-order best legal permutation (cheapest). *)
+val best_permutation : Layout.t -> line:int -> Nest.t -> string list

@@ -1,0 +1,117 @@
+open Mlc_ir
+module Cs = Mlc_cachesim
+
+(* Trip counts at maximal extents, as in Miss_model. *)
+let trip_counts nest =
+  let bounds = Hashtbl.create 8 in
+  List.iter
+    (fun loop ->
+      let eval_or corner e default =
+        try
+          Expr.eval
+            (fun v ->
+              match Hashtbl.find_opt bounds v with
+              | Some (lo, hi) -> if corner then hi else lo
+              | None -> raise Not_found)
+            e
+        with Not_found -> default
+      in
+      let lo = eval_or false loop.Loop.lo 0 in
+      let hi = eval_or true loop.Loop.hi lo in
+      Hashtbl.replace bounds loop.Loop.var (min lo hi, max lo hi))
+    nest.Nest.loops;
+  List.map
+    (fun loop ->
+      let lo, hi = Hashtbl.find bounds loop.Loop.var in
+      (loop.Loop.var, max 1 (((hi - lo) / abs loop.Loop.step) + 1)))
+    nest.Nest.loops
+
+(* Lines a single reference streams through the whole nest, with spatial
+   reuse on the innermost loop.  With [distinct_only], loops the
+   reference is invariant to contribute no multiplicity — that turns
+   traffic into a footprint (distinct lines) estimate. *)
+let ref_line_traffic ?(distinct_only = false) layout ~line nest trips r =
+  match List.rev (Nest.vars nest) with
+  | [] -> 0.0
+  | inner :: outers ->
+      let trip v = try List.assoc v trips with Not_found -> 1 in
+      let stride_of v = abs (Reuse.stride_bytes layout r v) in
+      let stride = stride_of inner in
+      let inner_trip = float_of_int (trip inner) in
+      let lines =
+        if stride = 0 then 1.0
+        else if stride < line then inner_trip *. float_of_int stride /. float_of_int line
+        else inner_trip
+      in
+      List.fold_left
+        (fun acc v ->
+          if distinct_only && stride_of v = 0 then acc
+          else acc *. float_of_int (trip v))
+        lines outers
+
+(* Footprint in lines: distinct data each group leader spans. *)
+let footprint_lines layout ~line nest trips =
+  let groups = Ref_group.of_nest layout nest in
+  List.fold_left
+    (fun acc g ->
+      let leader = (List.hd g.Ref_group.members).Ref_group.ref_ in
+      acc +. ref_line_traffic ~distinct_only:true layout ~line nest trips leader)
+    0.0 groups
+
+let nest_misses layout ~size ~line nest =
+  let trips = trip_counts nest in
+  let footprint = footprint_lines layout ~line nest trips in
+  if footprint *. float_of_int line <= float_of_int size then
+    (* everything fits: cold misses only *)
+    footprint
+  else begin
+    (* leaders stream (refetching across invariant outer loops); trailing
+       refs whose arcs are lost re-fetch too *)
+    let dots = Arcs.dots layout ~size nest in
+    let arcs = Arcs.arcs layout nest in
+    let lost_trailing_traffic =
+      List.fold_left
+        (fun acc arc ->
+          if Arcs.arc_preserved dots ~size arc then acc
+          else
+            let trailing_ref =
+              List.nth (Nest.refs nest) arc.Arcs.trailing
+            in
+            acc +. ref_line_traffic layout ~line nest trips trailing_ref)
+        0.0 arcs
+    in
+    let groups = Ref_group.of_nest layout nest in
+    let leaders_traffic =
+      List.fold_left
+        (fun acc g ->
+          let leader = (List.hd g.Ref_group.members).Ref_group.ref_ in
+          acc +. ref_line_traffic layout ~line nest trips leader)
+        0.0 groups
+    in
+    (* ping-pong conflicts: each severely conflicting pair misses on
+       every iteration (two misses per iteration), bounded later *)
+    let iterations =
+      List.fold_left (fun acc (_, t) -> acc * t) 1 trips |> float_of_int
+    in
+    let conflicts =
+      List.length (Arcs.severe_conflicts layout ~size ~line nest)
+    in
+    let conflict_misses = 2.0 *. float_of_int conflicts *. iterations in
+    let total_refs = float_of_int (Nest.ref_count nest) in
+    Float.min total_refs (leaders_traffic +. lost_trailing_traffic +. conflict_misses)
+  end
+
+let program_misses layout machine program =
+  List.map
+    (fun g ->
+      let size = g.Cs.Level.size and line = g.Cs.Level.line in
+      float_of_int program.Program.time_steps
+      *. List.fold_left
+           (fun acc nest -> acc +. nest_misses layout ~size ~line nest)
+           0.0 program.Program.nests)
+    machine.Cs.Machine.geometries
+
+let l1_miss_ratio layout machine program =
+  match program_misses layout machine program with
+  | l1 :: _ -> l1 /. float_of_int (Program.ref_count program)
+  | [] -> 0.0

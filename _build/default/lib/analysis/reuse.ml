@@ -1,0 +1,78 @@
+open Mlc_ir
+
+type kind =
+  | Self_temporal
+  | Self_spatial
+  | Group_temporal of { partner : int; iterations_apart : int }
+
+type t = {
+  ref_index : int;
+  loop_var : string;
+  kind : kind;
+}
+
+let stride_bytes layout r var = Expr.coeff (Layout.address_expr layout r) var
+
+let of_nest layout ~line nest =
+  let refs = Nest.refs nest in
+  let groups = Ref_group.of_nest layout nest in
+  let out = ref [] in
+  List.iter
+    (fun loop ->
+      let var = loop.Loop.var in
+      (* Self reuse. *)
+      List.iteri
+        (fun i r ->
+          if Ref_.is_affine r then begin
+            let stride = stride_bytes layout r var in
+            if stride = 0 then out := { ref_index = i; loop_var = var; kind = Self_temporal } :: !out
+            else if abs stride < line then
+              out := { ref_index = i; loop_var = var; kind = Self_spatial } :: !out
+          end)
+        refs;
+      (* Group-temporal reuse: a member reuses the data of the member at
+         the next distinct offset when the offset gap is a positive
+         multiple of this loop's stride. *)
+      List.iter
+        (fun g ->
+          let members = g.Ref_group.members in
+          List.iter
+            (fun (m : Ref_group.member) ->
+              let stride = stride_bytes layout m.Ref_group.ref_ var in
+              if stride <> 0 then
+                List.iter
+                  (fun (m' : Ref_group.member) ->
+                    let gap = m'.Ref_group.offset_bytes - m.Ref_group.offset_bytes in
+                    if gap > 0 && gap mod stride = 0 && gap / stride > 0 then
+                      out :=
+                        {
+                          ref_index = m.Ref_group.index;
+                          loop_var = var;
+                          kind =
+                            Group_temporal
+                              {
+                                partner = m'.Ref_group.index;
+                                iterations_apart = gap / stride;
+                              };
+                        }
+                        :: !out)
+                  members)
+            members)
+        groups)
+    nest.Nest.loops;
+  List.rev !out
+
+let innermost_reuse layout ~line nest ref_index =
+  let var = (Nest.innermost nest).Loop.var in
+  of_nest layout ~line nest
+  |> List.exists (fun r -> r.ref_index = ref_index && r.loop_var = var)
+
+let pp ppf t =
+  let kind_str =
+    match t.kind with
+    | Self_temporal -> "self-temporal"
+    | Self_spatial -> "self-spatial"
+    | Group_temporal { partner; iterations_apart } ->
+        Printf.sprintf "group-temporal(partner=%d, +%d iters)" partner iterations_apart
+  in
+  Format.fprintf ppf "ref %d on %s: %s" t.ref_index t.loop_var kind_str

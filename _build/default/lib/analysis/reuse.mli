@@ -1,0 +1,36 @@
+(** Wolf–Lam style reuse classification for affine references.
+
+    For each reference and each loop of a nest we report whether
+    consecutive iterations of that loop revisit the same location
+    (self-temporal), the same cache line (self-spatial), or data touched
+    earlier by another reference of the same uniformly generated group
+    (group-temporal).  These drive loop-permutation choice and the
+    narrative the paper builds in Section 2. *)
+
+open Mlc_ir
+
+type kind =
+  | Self_temporal
+  | Self_spatial
+  | Group_temporal of { partner : int; iterations_apart : int }
+      (** reuses data of body reference [partner], that many iterations
+          of the loop later *)
+
+type t = {
+  ref_index : int;
+  loop_var : string;
+  kind : kind;
+}
+
+(** Byte stride of a reference along one loop variable. *)
+val stride_bytes : Layout.t -> Ref_.t -> string -> int
+
+(** All reuse relations in a nest, given the cache line size used for the
+    spatial threshold. *)
+val of_nest : Layout.t -> line:int -> Nest.t -> t list
+
+(** Does the nest, in its current order, carry any reuse on the innermost
+    loop for this reference index? *)
+val innermost_reuse : Layout.t -> line:int -> Nest.t -> int -> bool
+
+val pp : Format.formatter -> t -> unit

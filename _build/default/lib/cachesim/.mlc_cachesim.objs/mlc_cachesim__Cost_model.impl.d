@@ -1,0 +1,1 @@
+lib/cachesim/cost_model.ml: Array Hierarchy Level Stats

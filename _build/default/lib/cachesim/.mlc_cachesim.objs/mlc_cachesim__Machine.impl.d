@@ -1,0 +1,1 @@
+lib/cachesim/machine.ml: Cost_model Hierarchy Level List Printf

@@ -1,0 +1,1 @@
+lib/cachesim/stack_distance.ml: Array Hashtbl List Option

@@ -1,0 +1,37 @@
+type t = {
+  hit_cycles : float array;
+  memory_cycles : float;
+  clock_hz : float;
+}
+
+let ultrasparc =
+  { hit_cycles = [| 1.0; 6.0 |]; memory_cycles = 50.0; clock_hz = 143.0e6 }
+
+let alpha21164 =
+  { hit_cycles = [| 1.0; 5.0; 20.0 |]; memory_cycles = 80.0; clock_hz = 300.0e6 }
+
+let cycles t hierarchy =
+  let levels = Array.of_list (Hierarchy.levels hierarchy) in
+  let n = Array.length levels in
+  if Array.length t.hit_cycles < n then
+    invalid_arg "Cost_model.cycles: model has fewer levels than hierarchy";
+  let total = ref 0.0 in
+  for i = 0 to n - 1 do
+    let stats = Level.stats levels.(i) in
+    (* Every access that reached level i pays level i's hit latency;
+       the portion that missed pays deeper levels via their own access
+       counts, and the last level's misses pay memory latency. *)
+    total := !total +. (float_of_int stats.Stats.accesses *. t.hit_cycles.(i))
+  done;
+  let last = Level.stats levels.(n - 1) in
+  total := !total +. (float_of_int last.Stats.misses *. t.memory_cycles);
+  !total
+
+let seconds t hierarchy = cycles t hierarchy /. t.clock_hz
+
+let mflops t ~flops hierarchy =
+  let s = seconds t hierarchy in
+  if s <= 0.0 then 0.0 else float_of_int flops /. s /. 1.0e6
+
+let improvement ~orig ~opt =
+  if orig = 0.0 then 0.0 else 100.0 *. (orig -. opt) /. orig

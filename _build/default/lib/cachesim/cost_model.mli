@@ -1,0 +1,38 @@
+(** Latency-weighted execution-time model.
+
+    The paper times programs on a Sun UltraSparc I.  We cannot, so we
+    convert simulated per-level miss counts to cycles with an additive
+    latency model and report improvements from that (see DESIGN.md's
+    substitution table).  The point the paper makes — L2 miss-rate
+    reductions are diluted into small wall-clock changes because the
+    L1-hit term dominates — falls out of the same arithmetic. *)
+
+type t = {
+  hit_cycles : float array;
+      (** [hit_cycles.(i)] is the cost of a hit at level [i] (L1 = 0). *)
+  memory_cycles : float;  (** cost of going to main memory *)
+  clock_hz : float;       (** for MFLOPS conversion *)
+}
+
+(** UltraSparc-I-flavoured defaults: 1-cycle L1 hit, 6-cycle L2 hit,
+    50-cycle memory, 143 MHz clock. *)
+val ultrasparc : t
+
+(** Alpha-21164-flavoured three-level defaults. *)
+val alpha21164 : t
+
+(** [cycles t h] prices every access recorded in hierarchy [h]:
+    each reference pays the L1 hit cost, each L1 miss additionally pays
+    the L2 cost, and so on; last-level misses pay [memory_cycles]. *)
+val cycles : t -> Hierarchy.t -> float
+
+(** [seconds t h] is [cycles] over the clock. *)
+val seconds : t -> Hierarchy.t -> float
+
+(** [mflops t ~flops h] is simulated MFLOPS given a floating-point
+    operation count. *)
+val mflops : t -> flops:int -> Hierarchy.t -> float
+
+(** [improvement ~orig ~opt] is the paper's "execution time improvement":
+    (orig − opt) / orig, in percent. *)
+val improvement : orig:float -> opt:float -> float

@@ -1,0 +1,51 @@
+(** A multi-level cache hierarchy.
+
+    An access is presented to the first (smallest, L1) level; on a miss it
+    propagates to the next level, and so on.  A miss at the last level is a
+    main-memory access.  Per-level statistics follow the paper's
+    convention: each level's miss rate is reported against the {e total}
+    number of references issued (see {!Stats.miss_rate_vs}). *)
+
+type t
+
+(** [create ?write_allocate ?prefetch_levels geoms] builds a hierarchy
+    from the L1 geometry outward ([write_allocate] as in
+    {!Level.create}; [prefetch_levels] lists 0-based level indices that
+    get a next-line prefetcher).
+    @raise Invalid_argument if [geoms] is empty. *)
+val create :
+  ?write_allocate:bool -> ?prefetch_levels:int list -> Level.geometry list -> t
+
+(** One hierarchy per the paper's simulation setup: 16K direct-mapped L1
+    with 32-byte lines and 512K direct-mapped L2 with 64-byte lines (also
+    the Sun UltraSparc I configuration the paper times on). *)
+val ultrasparc : unit -> t
+
+(** A three-level configuration in the style of the DEC Alpha 21164
+    (8K L1 / 96K L2 / 2M L3), used by the extension benches. *)
+val alpha21164 : unit -> t
+
+val levels : t -> Level.t list
+
+val n_levels : t -> int
+
+(** [access t ?write addr] sends one reference down the hierarchy.
+    Returns the index of the level that hit (0 = L1), or [n_levels t]
+    when the access went to main memory. *)
+val access : t -> ?write:bool -> int -> int
+
+(** Total write-backs across all levels (dirty evictions). *)
+val writebacks : t -> int
+
+(** Total references issued so far (i.e. L1 accesses). *)
+val total_refs : t -> int
+
+(** Main-memory accesses (misses at the last level). *)
+val memory_accesses : t -> int
+
+(** [miss_rates t] gives each level's misses / total refs, L1 first. *)
+val miss_rates : t -> float list
+
+val clear : t -> unit
+
+val pp : Format.formatter -> t -> unit

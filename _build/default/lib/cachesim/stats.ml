@@ -1,0 +1,27 @@
+type t = {
+  mutable accesses : int;
+  mutable hits : int;
+  mutable misses : int;
+}
+
+let create () = { accesses = 0; hits = 0; misses = 0 }
+
+let reset t =
+  t.accesses <- 0;
+  t.hits <- 0;
+  t.misses <- 0
+
+let record t ~hit =
+  t.accesses <- t.accesses + 1;
+  if hit then t.hits <- t.hits + 1 else t.misses <- t.misses + 1
+
+let miss_rate_vs ~total_refs t =
+  if total_refs = 0 then 0.0 else float_of_int t.misses /. float_of_int total_refs
+
+let local_miss_rate t =
+  if t.accesses = 0 then 0.0
+  else float_of_int t.misses /. float_of_int t.accesses
+
+let pp ppf t =
+  Format.fprintf ppf "accesses=%d hits=%d misses=%d (local miss rate %.2f%%)"
+    t.accesses t.hits t.misses (100.0 *. local_miss_rate t)

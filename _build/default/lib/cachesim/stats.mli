@@ -1,0 +1,28 @@
+(** Access counters for one cache level.
+
+    The paper reports miss rates for every level relative to the {e total}
+    number of memory references issued by the program ("L2 misses are
+    normalized to L1 misses"), not relative to the number of accesses that
+    reached that level.  [miss_rate_vs ~total_refs] implements that
+    convention; [local_miss_rate] is the conventional per-level rate. *)
+
+type t = {
+  mutable accesses : int;  (** references that reached this level *)
+  mutable hits : int;
+  mutable misses : int;
+}
+
+val create : unit -> t
+
+val reset : t -> unit
+
+val record : t -> hit:bool -> unit
+
+(** [miss_rate_vs ~total_refs t] is misses / total_refs (in [0, 1]);
+    0 when [total_refs] is 0. *)
+val miss_rate_vs : total_refs:int -> t -> float
+
+(** Misses relative to accesses that reached this level. *)
+val local_miss_rate : t -> float
+
+val pp : Format.formatter -> t -> unit

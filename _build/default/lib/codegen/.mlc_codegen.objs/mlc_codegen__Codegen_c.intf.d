@@ -1,0 +1,1 @@
+lib/codegen/codegen_c.mli: Layout Mlc_ir Program

@@ -1,0 +1,1 @@
+lib/codegen/codegen_f77.ml: Array Array_decl Buffer Expr Layout List Loop Mlc_ir Nest Printf Program Ref_ Stmt String Subscript

@@ -1,0 +1,1 @@
+lib/codegen/codegen_f77.mli: Layout Mlc_ir Program

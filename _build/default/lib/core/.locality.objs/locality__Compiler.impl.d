@@ -1,0 +1,1 @@
+lib/core/compiler.ml: Buffer Fusion Interp Layout List Mlc_cachesim Mlc_ir Nest Permute Pipeline Printf Program Scalar_replace String

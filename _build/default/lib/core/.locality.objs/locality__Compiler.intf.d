@@ -1,0 +1,1 @@
+lib/core/compiler.mli: Layout Mlc_cachesim Mlc_ir Pipeline Program

@@ -1,0 +1,1 @@
+lib/core/distribution.ml: Array List Mlc_analysis Mlc_ir Nest Ref_ Stmt

@@ -1,0 +1,1 @@
+lib/core/experiment.ml: Format Interp List Mlc_cachesim Mlc_ir Pipeline

@@ -1,0 +1,1 @@
+lib/core/experiment.mli: Format Interp Layout Mlc_cachesim Mlc_ir Pipeline Program

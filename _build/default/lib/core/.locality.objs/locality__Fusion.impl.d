@@ -1,0 +1,1 @@
+lib/core/fusion.ml: Expr Grouppad Layout List Loop Mlc_analysis Mlc_cachesim Mlc_ir Nest Option Printf Program Ref_ Stmt

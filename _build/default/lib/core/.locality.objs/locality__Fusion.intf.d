@@ -1,0 +1,1 @@
+lib/core/fusion.mli: Layout Mlc_analysis Mlc_cachesim Mlc_ir Nest Program

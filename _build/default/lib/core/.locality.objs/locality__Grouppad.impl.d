@@ -1,0 +1,1 @@
+lib/core/grouppad.ml: Layout List Mlc_analysis Mlc_ir Program

@@ -1,0 +1,1 @@
+lib/core/grouppad.mli: Layout Mlc_ir Program

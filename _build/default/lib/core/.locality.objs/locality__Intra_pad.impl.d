@@ -1,0 +1,1 @@
+lib/core/intra_pad.ml: Array Layout List Mlc_analysis Mlc_ir Nest Program Ref_

@@ -1,0 +1,1 @@
+lib/core/intra_pad.mli: Layout Mlc_analysis Mlc_ir Program

@@ -1,0 +1,1 @@
+lib/core/maxpad.ml: Layout List Mlc_ir

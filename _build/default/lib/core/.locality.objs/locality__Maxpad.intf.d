@@ -1,0 +1,1 @@
+lib/core/maxpad.mli: Layout Mlc_ir Program

@@ -1,0 +1,1 @@
+lib/core/multilvlpad.ml: Mlc_cachesim Pad

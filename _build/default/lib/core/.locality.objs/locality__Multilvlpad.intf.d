@@ -1,0 +1,1 @@
+lib/core/multilvlpad.mli: Layout Mlc_cachesim Mlc_ir Program

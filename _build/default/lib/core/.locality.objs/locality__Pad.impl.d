@@ -1,0 +1,1 @@
+lib/core/pad.ml: Layout List Mlc_analysis Mlc_ir Program Ref_

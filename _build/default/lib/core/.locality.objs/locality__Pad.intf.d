@@ -1,0 +1,1 @@
+lib/core/pad.mli: Layout Mlc_analysis Mlc_ir Program

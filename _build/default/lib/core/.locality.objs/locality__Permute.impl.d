@@ -1,0 +1,1 @@
+lib/core/permute.ml: Expr List Loop Mlc_analysis Mlc_ir Nest Printf

@@ -1,0 +1,1 @@
+lib/core/pipeline.ml: Grouppad Intra_pad Layout Maxpad Mlc_cachesim Mlc_ir Multilvlpad Pad

@@ -1,0 +1,1 @@
+lib/core/reverse.ml: List Loop Mlc_analysis Mlc_ir Nest Ref_

@@ -1,0 +1,1 @@
+lib/core/scalar_replace.ml: Expr List Loop Mlc_ir Nest Program Ref_ Stmt

@@ -1,0 +1,1 @@
+lib/core/scalar_replace.mli: Mlc_ir Nest Program

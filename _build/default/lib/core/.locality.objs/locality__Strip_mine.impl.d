@@ -1,0 +1,1 @@
+lib/core/strip_mine.ml: Expr List Loop Mlc_ir Nest

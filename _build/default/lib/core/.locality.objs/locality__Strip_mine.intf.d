@@ -1,0 +1,1 @@
+lib/core/strip_mine.mli: Mlc_ir Nest

@@ -1,0 +1,1 @@
+lib/core/tile_size.mli: Format

@@ -1,0 +1,1 @@
+lib/core/tiling.ml: Build List Mlc_analysis Mlc_ir Nest Permute Printf Program Strip_mine

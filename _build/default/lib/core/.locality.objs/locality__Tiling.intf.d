@@ -1,0 +1,1 @@
+lib/core/tiling.mli: Mlc_ir Nest Program

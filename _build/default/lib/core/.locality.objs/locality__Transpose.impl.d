@@ -1,0 +1,1 @@
+lib/core/transpose.ml: Array Array_decl Layout List Loop Mlc_analysis Mlc_ir Nest Program Ref_

@@ -1,0 +1,1 @@
+lib/core/transpose.mli: Layout Mlc_ir Program

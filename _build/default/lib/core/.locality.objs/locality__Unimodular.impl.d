@@ -1,0 +1,1 @@
+lib/core/unimodular.ml: Array Expr Format List Loop Mlc_analysis Mlc_ir Nest Printf Ref_ Stmt String

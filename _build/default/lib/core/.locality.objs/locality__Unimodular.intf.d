@@ -1,0 +1,1 @@
+lib/core/unimodular.mli: Format Mlc_ir Nest

@@ -1,0 +1,100 @@
+open Mlc_ir
+module Cs = Mlc_cachesim
+
+type result = {
+  program : Program.t;
+  layout : Layout.t;
+  log : string list;
+}
+
+type options = {
+  permute : bool;
+  fuse : bool;
+  pad_strategy : Pipeline.strategy;
+  scalar_replace : bool;
+}
+
+let default_options =
+  {
+    permute = true;
+    fuse = true;
+    pad_strategy = Pipeline.Grouppad_l1_l2;
+    scalar_replace = false;
+  }
+
+let optimize ?(options = default_options) machine program =
+  let log = ref [] in
+  let say fmt = Printf.ksprintf (fun s -> log := s :: !log) fmt in
+  let line = Cs.Machine.level_line machine 0 in
+  (* 1. permutation toward memory order *)
+  let program =
+    if not options.permute then program
+    else begin
+      let layout = Layout.initial program in
+      Program.map_nests
+        (fun nest ->
+          let best = Permute.optimize layout ~line nest in
+          if Nest.vars best <> Nest.vars nest then
+            say "permuted (%s) -> (%s)"
+              (String.concat "," (Nest.vars nest))
+              (String.concat "," (Nest.vars best));
+          best)
+        program
+    end
+  in
+  (* 2. profitable fusion *)
+  let program =
+    if not options.fuse then program
+    else begin
+      let fused, fusion_log = Fusion.optimize_program machine program in
+      List.iter (fun l -> say "fusion: %s" l) fusion_log;
+      fused
+    end
+  in
+  (* 3. scalar replacement (optional; changes the reference stream) *)
+  let program =
+    if not options.scalar_replace then program
+    else begin
+      let before = Program.ref_count program in
+      let replaced = Scalar_replace.apply_program program in
+      say "scalar replacement removed %d references per run"
+        (before - Program.ref_count replaced);
+      replaced
+    end
+  in
+  (* 4. data layout *)
+  let layout = Pipeline.layout_for machine options.pad_strategy program in
+  say "layout: %s" (Pipeline.strategy_name options.pad_strategy);
+  List.iter
+    (fun v ->
+      let pad = Layout.pad_before layout v in
+      let intra = Layout.intra_pad layout v in
+      if pad > 0 || intra > 0 then
+        say "  %s: pad_before %dB%s" v pad
+          (if intra > 0 then Printf.sprintf ", column +%d elems" intra else ""))
+    (Layout.array_names layout);
+  { program; layout; log = List.rev !log }
+
+let report ?options machine program =
+  let optimized = optimize ?options machine program in
+  let orig_layout = Layout.initial program in
+  let r0 = Interp.run machine orig_layout program in
+  let r1 = Interp.run machine optimized.layout optimized.program in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (Printf.sprintf "program %s on %s\n" program.Program.name
+                           machine.Cs.Machine.name);
+  List.iter (fun l -> Buffer.add_string buf ("  " ^ l ^ "\n")) optimized.log;
+  let rates label r =
+    Buffer.add_string buf (Printf.sprintf "  %-10s" label);
+    List.iteri
+      (fun i rate ->
+        Buffer.add_string buf (Printf.sprintf " L%d %5.2f%%" (i + 1) (100.0 *. rate)))
+      r.Interp.miss_rates;
+    Buffer.add_string buf (Printf.sprintf "  cycles %.3e\n" r.Interp.cycles)
+  in
+  rates "original" r0;
+  rates "optimized" r1;
+  Buffer.add_string buf
+    (Printf.sprintf "  model-time improvement: %.2f%%\n"
+       (Cs.Cost_model.improvement ~orig:r0.Interp.cycles ~opt:r1.Interp.cycles));
+  Buffer.contents buf

@@ -1,0 +1,43 @@
+(** The full optimization pipeline, combining every pass in the order the
+    paper's infrastructure applies them:
+
+    + loop permutation per nest toward memory order (miss-model ranked,
+      dependence-checked);
+    + profitable loop fusion of adjacent nests (two-level model);
+    + intra-variable padding where a variable conflicts with itself;
+    + inter-variable padding / group-reuse padding for the L1 cache,
+      then L2MAXPAD when a second level exists;
+    + optionally scalar replacement of register-carried loads.
+
+    Tiling is not applied blindly — it is profitable for reduction-style
+    nests like matrix multiplication, not for the stencils that dominate
+    the suite — so it stays an explicit tool ({!Tiling}).
+
+    Every decision is logged; [optimize] never changes what the program
+    computes (each pass is legality-checked). *)
+
+open Mlc_ir
+
+type result = {
+  program : Program.t;
+  layout : Layout.t;
+  log : string list;
+}
+
+type options = {
+  permute : bool;
+  fuse : bool;
+  pad_strategy : Pipeline.strategy;
+  scalar_replace : bool;
+}
+
+val default_options : options
+
+(** [optimize ?options machine program]. *)
+val optimize :
+  ?options:options -> Mlc_cachesim.Machine.t -> Program.t -> result
+
+(** Convenience: simulate original vs optimized and report the paper's
+    metrics (per-level miss rates and model-time improvement). *)
+val report :
+  ?options:options -> Mlc_cachesim.Machine.t -> Program.t -> string

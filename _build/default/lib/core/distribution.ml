@@ -1,0 +1,78 @@
+open Mlc_ir
+module An = Mlc_analysis
+
+exception Illegal of string
+
+let apply nest groups =
+  let stmts = Array.of_list nest.Nest.body in
+  let n_stmts = Array.length stmts in
+  let covered = List.sort compare (List.concat groups) in
+  if covered <> List.init n_stmts (fun i -> i) then
+    raise (Illegal "Distribution.apply: groups must partition the body");
+  let group_of = Array.make n_stmts 0 in
+  List.iteri (fun g members -> List.iter (fun s -> group_of.(s) <- g) members) groups;
+  let vars = Nest.vars nest in
+  (* Dependences between statements in different groups: the source's
+     group must come first, and the distance must not be carried
+     backward (the sink must not need a value from a {e later} outer
+     iteration of an earlier group: distribution runs the whole first
+     nest before the second, which is safe exactly when the dependence
+     never flows from the later group back to the earlier one). *)
+  Array.iteri
+    (fun s1 stmt1 ->
+      Array.iteri
+        (fun s2 stmt2 ->
+          if group_of.(s1) <> group_of.(s2) then
+            List.iter
+              (fun r1 ->
+                List.iter
+                  (fun r2 ->
+                    if Ref_.is_write r1 || Ref_.is_write r2 then
+                      match An.Dependence.between r1 r2 with
+                      | An.Dependence.Independent -> ()
+                      | An.Dependence.Unknown ->
+                          raise (Illegal "Distribution.apply: unanalyzable dependence")
+                      | An.Dependence.Distance ds ->
+                          (* dependence between (s1 at I) and (s2 at I+d);
+                             the textual/source order decides direction:
+                             if d = 0 everywhere, statement order within
+                             the body decides, and splitting preserves
+                             group order, so only group order matters. *)
+                          let vec =
+                            List.map
+                              (fun v -> try List.assoc v ds with Not_found -> 0)
+                              vars
+                          in
+                          let sign =
+                            let rec go = function
+                              | [] -> 0
+                              | 0 :: rest -> go rest
+                              | x :: _ -> if x > 0 then 1 else -1
+                            in
+                            go vec
+                          in
+                          (* sign > 0: s2's access at later iterations —
+                             source is s1.  The sink group must not come
+                             before the source group. *)
+                          let src_group, dst_group =
+                            if sign > 0 then (group_of.(s1), group_of.(s2))
+                            else if sign < 0 then (group_of.(s2), group_of.(s1))
+                            else if s1 < s2 then (group_of.(s1), group_of.(s2))
+                            else (group_of.(s2), group_of.(s1))
+                          in
+                          if dst_group < src_group then
+                            raise
+                              (Illegal
+                                 "Distribution.apply: dependence flows backward \
+                                  across groups"))
+                  stmt2.Stmt.refs)
+              stmt1.Stmt.refs)
+        stmts)
+    stmts;
+  List.map
+    (fun members ->
+      { nest with Nest.body = List.map (fun s -> stmts.(s)) members })
+    groups
+
+let maximal nest =
+  apply nest (List.init (List.length nest.Nest.body) (fun i -> [ i ]))

@@ -1,0 +1,19 @@
+(** Loop distribution (fission) — the inverse of fusion, cited by the
+    paper among the helpful reordering transformations [18].  A nest with
+    several statements is split into one nest per statement group, when
+    no dependence is carried backward between the groups. *)
+
+open Mlc_ir
+
+exception Illegal of string
+
+(** [apply nest groups] splits the body statements (by index) into the
+    given groups, in order.  Legal when every dependence between
+    statements of different groups flows from an earlier group to a
+    later one with non-negative distance on every loop.
+    @raise Illegal otherwise. *)
+val apply : Nest.t -> int list list -> Nest.t list
+
+(** Distribute into one nest per statement (maximal distribution), or
+    raise. *)
+val maximal : Nest.t -> Nest.t list

@@ -1,0 +1,31 @@
+open Mlc_ir
+module Cs = Mlc_cachesim
+
+type outcome = {
+  label : string;
+  result : Interp.result;
+}
+
+let run machine ~label layout program =
+  { label; result = Interp.run machine layout program }
+
+let run_strategy machine strategy program =
+  let layout = Pipeline.layout_for machine strategy program in
+  run machine ~label:(Pipeline.strategy_name strategy) layout program
+
+let time_improvement ~baseline outcome =
+  Cs.Cost_model.improvement ~orig:baseline.result.Interp.cycles
+    ~opt:outcome.result.Interp.cycles
+
+let miss_rate_pct outcome level =
+  match List.nth_opt outcome.result.Interp.miss_rates level with
+  | Some r -> 100.0 *. r
+  | None -> 0.0
+
+let pp_outcome ppf o =
+  Format.fprintf ppf "%-28s refs=%-10d" o.label o.result.Interp.total_refs;
+  List.iteri
+    (fun i r -> Format.fprintf ppf " L%d=%5.2f%%" (i + 1) (100.0 *. r))
+    o.result.Interp.miss_rates;
+  Format.fprintf ppf " cycles=%.3e mflops=%.1f" o.result.Interp.cycles
+    o.result.Interp.mflops

@@ -1,0 +1,24 @@
+(** Running program versions and reporting the paper's metrics. *)
+
+open Mlc_ir
+module Cs = Mlc_cachesim
+
+type outcome = {
+  label : string;
+  result : Interp.result;
+}
+
+(** Simulate one (layout, program) version. *)
+val run : Cs.Machine.t -> label:string -> Layout.t -> Program.t -> outcome
+
+(** Simulate a pipeline strategy. *)
+val run_strategy : Cs.Machine.t -> Pipeline.strategy -> Program.t -> outcome
+
+(** Execution-time improvement (percent, positive = faster) of [opt]
+    over [baseline] under the machine's cost model. *)
+val time_improvement : baseline:outcome -> outcome -> float
+
+(** Per-level miss rate in percent (level 0 = L1). *)
+val miss_rate_pct : outcome -> int -> float
+
+val pp_outcome : Format.formatter -> outcome -> unit

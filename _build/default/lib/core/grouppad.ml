@@ -1,0 +1,43 @@
+open Mlc_ir
+module An = Mlc_analysis
+
+let preserved_references ~size program layout =
+  List.fold_left
+    (fun acc nest -> acc + An.Arcs.preserved_count layout ~size nest)
+    0 program.Program.nests
+
+let conflict_count ~size ~line program layout =
+  List.fold_left
+    (fun acc nest ->
+      acc + List.length (An.Arcs.severe_conflicts layout ~size ~line nest))
+    0 program.Program.nests
+
+let apply ?candidate_step ~size ~line program layout =
+  (* Default: ~128 candidate positions per variable, line-aligned — the
+     "limited number of positions" of the original algorithm. *)
+  let step =
+    match candidate_step with
+    | Some s -> max line s
+    | None -> max line (size / 128 / line * line)
+  in
+  let candidates =
+    let rec go p acc = if p >= size then List.rev acc else go (p + step) (p :: acc) in
+    go 0 []
+  in
+  List.fold_left
+    (fun layout v ->
+      (* Score = (no new severe conflicts, preserved references); the pad
+         is chosen per-variable greedily, like the original algorithm. *)
+      let best = ref None in
+      List.iter
+        (fun pad ->
+          let candidate = Layout.set_pad_before layout v pad in
+          let conflicts = conflict_count ~size ~line program candidate in
+          let preserved = preserved_references ~size program candidate in
+          let key = (conflicts, -preserved, pad) in
+          match !best with
+          | Some (best_key, _) when compare key best_key >= 0 -> ()
+          | _ -> best := Some (key, candidate))
+        candidates;
+      match !best with Some (_, l) -> l | None -> layout)
+    layout (Layout.array_names layout)

@@ -1,0 +1,24 @@
+(** GROUPPAD — padding to preserve group-temporal reuse on the L1 cache
+    (Rivera & Tseng ICS '98; Section 3.2.1).
+
+    Variables are visited in declaration order.  For each one, a limited
+    set of candidate positions (multiples of the cache line across the
+    cache) is tried, and the position maximizing the number of references
+    that successfully exploit group reuse (preserved arcs) across all
+    nests is kept, preferring positions that introduce no severe
+    conflicts and, among ties, the smallest pad. *)
+
+open Mlc_ir
+
+(** [apply ~size ~line program layout] — [size]/[line] of the cache being
+    targeted (L1 for the classic pass). [candidate_step] defaults to one
+    line; larger steps explore fewer positions. *)
+val apply :
+  ?candidate_step:int -> size:int -> line:int -> Program.t -> Layout.t -> Layout.t
+
+(** Number of references exploiting group reuse over all nests on a cache
+    of [size] bytes — the objective GROUPPAD maximizes. *)
+val preserved_references : size:int -> Program.t -> Layout.t -> int
+
+(** Severe-conflict count over all nests at (size, line). *)
+val conflict_count : size:int -> line:int -> Program.t -> Layout.t -> int

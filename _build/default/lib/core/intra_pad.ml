@@ -1,0 +1,41 @@
+open Mlc_ir
+module An = Mlc_analysis
+
+let self_conflicts_of ~size ~line layout nest v =
+  An.Arcs.severe_conflicts layout ~size ~line ~include_same_array:true nest
+  |> List.filter (fun c ->
+         let refs = Array.of_list (Nest.refs nest) in
+         let arr i = refs.(i).Ref_.array in
+         arr c.An.Arcs.a = v && arr c.An.Arcs.b = v)
+
+let has_self_conflict ~size ~line program layout v =
+  List.exists
+    (fun nest -> self_conflicts_of ~size ~line layout nest v <> [])
+    program.Program.nests
+
+let apply ?max_elems ~size ~line program layout =
+  let max_elems =
+    match max_elems with
+    | Some m -> m
+    | None -> (line / 4) + 1 (* a few elements; enough to slide a line *)
+  in
+  List.fold_left
+    (fun layout v ->
+      let rec go layout n =
+        if n >= max_elems || not (has_self_conflict ~size ~line program layout v)
+        then layout
+        else go (Layout.set_intra_pad layout v (Layout.intra_pad layout v + 1)) (n + 1)
+      in
+      go layout 0)
+    layout (Layout.array_names layout)
+
+let remaining_self_conflicts ~size ~line program layout =
+  List.concat
+    (List.mapi
+       (fun i nest ->
+         let refs = Array.of_list (Nest.refs nest) in
+         An.Arcs.severe_conflicts layout ~size ~line ~include_same_array:true nest
+         |> List.filter (fun c ->
+                refs.(c.An.Arcs.a).Ref_.array = refs.(c.An.Arcs.b).Ref_.array)
+         |> List.map (fun c -> (i, c)))
+       program.Program.nests)

@@ -1,0 +1,16 @@
+(** Intra-variable (column) padding: lengthen each column of an array so
+    that references to {e the same} variable stop colliding on the cache
+    (Rivera & Tseng PLDI '98).  The paper applies this to ADI32 and
+    ERLE64 before the inter-variable passes. *)
+
+open Mlc_ir
+
+(** [apply ~size ~line program layout] pads columns of arrays whose own
+    references conflict, one element at a time, up to [max_elems]
+    (default: one cache line's worth). *)
+val apply :
+  ?max_elems:int -> size:int -> line:int -> Program.t -> Layout.t -> Layout.t
+
+(** Same-array severe conflicts remaining, per nest index. *)
+val remaining_self_conflicts :
+  size:int -> line:int -> Program.t -> Layout.t -> (int * Mlc_analysis.Arcs.conflict) list

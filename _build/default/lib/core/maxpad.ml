@@ -1,0 +1,57 @@
+open Mlc_ir
+
+let positions ~size layout =
+  List.map
+    (fun v -> (v, Layout.base layout v mod size))
+    (Layout.array_names layout)
+
+let circular_distance size a b =
+  let d = (b - a) mod size in
+  let d = if d < 0 then d + size else d in
+  min d (size - d)
+
+(* Spread variables toward targets k·size/n by choosing, for each variable
+   in order, the pad increment from [increments] whose resulting position
+   is closest to the target. *)
+let spread ~size ~increments _program layout =
+  let names = Layout.array_names layout in
+  let n = List.length names in
+  if n = 0 then layout
+  else
+    let spacing = size / n in
+    List.fold_left
+      (fun (layout, k) v ->
+        let target = k * spacing mod size in
+        let best = ref None in
+        List.iter
+          (fun inc ->
+            let candidate = Layout.add_pad_before layout v inc in
+            let pos = Layout.base candidate v mod size in
+            let dist = circular_distance size pos target in
+            match !best with
+            | Some (d, _) when d <= dist -> ()
+            | _ -> best := Some (dist, candidate))
+          increments;
+        let layout = match !best with Some (_, l) -> l | None -> layout in
+        (layout, k + 1))
+      (layout, 0) names
+    |> fst
+
+let apply ?(grain = 8) ~size program layout =
+  let increments =
+    let rec go p acc = if p >= size then List.rev acc else go (p + grain) (p :: acc) in
+    (* Cap the candidate count so huge caches do not explode the search:
+       position precision of size/4096 is far below a cache line. *)
+    go 0 [] |> fun all ->
+    let step = max 1 (List.length all / 4096) in
+    List.filteri (fun i _ -> i mod step = 0) all
+  in
+  spread ~size ~increments program layout
+
+let apply_l2 ~s1 ~l2_size program layout =
+  if l2_size mod s1 <> 0 then
+    invalid_arg "Maxpad.apply_l2: L2 size not a multiple of S1";
+  let increments =
+    List.init (l2_size / s1) (fun k -> k * s1)
+  in
+  spread ~size:l2_size ~increments program layout

@@ -1,0 +1,7 @@
+module Cs = Mlc_cachesim
+
+let config machine = (Cs.Machine.s1 machine, Cs.Machine.lmax machine)
+
+let apply machine program layout =
+  let size, line = config machine in
+  Pad.apply ~size ~line program layout

@@ -1,0 +1,16 @@
+(** MULTILVLPAD — PAD generalized to every cache level at once
+    (Section 3.1.2).
+
+    Because each level's capacity evenly divides the next's, padding
+    against a single synthetic configuration — the L1 size [S1] with the
+    largest line size [Lmax] found at any level — eliminates severe
+    conflicts everywhere: if two references stay at least [Lmax] apart on
+    a cache of size [S1], modular arithmetic keeps them at least as far
+    apart on any cache of size [k·S1]. *)
+
+open Mlc_ir
+
+val apply : Mlc_cachesim.Machine.t -> Program.t -> Layout.t -> Layout.t
+
+(** The synthetic configuration used: (S1, Lmax). *)
+val config : Mlc_cachesim.Machine.t -> int * int

@@ -1,0 +1,52 @@
+open Mlc_ir
+module Cs = Mlc_cachesim
+
+type strategy =
+  | Original
+  | Pad_l1
+  | Pad_multilevel
+  | Grouppad_l1
+  | Grouppad_l1_l2
+
+let strategy_name = function
+  | Original -> "Orig"
+  | Pad_l1 -> "L1 Opt (PAD)"
+  | Pad_multilevel -> "L1&L2 Opt (MULTILVLPAD)"
+  | Grouppad_l1 -> "L1 Opt (GROUPPAD)"
+  | Grouppad_l1_l2 -> "L1&L2 Opt (GROUPPAD+L2MAXPAD)"
+
+let all = [ Original; Pad_l1; Pad_multilevel; Grouppad_l1; Grouppad_l1_l2 ]
+
+let l1_geometry machine =
+  match machine.Cs.Machine.geometries with
+  | g :: _ -> g
+  | [] -> invalid_arg "Pipeline: machine without cache levels"
+
+let with_intra machine program layout =
+  let g = l1_geometry machine in
+  Intra_pad.apply ~size:g.Cs.Level.size ~line:g.Cs.Level.line program layout
+
+let layout_for machine strategy program =
+  let layout = Layout.initial program in
+  let g = l1_geometry machine in
+  let s1 = g.Cs.Level.size and l1_line = g.Cs.Level.line in
+  match strategy with
+  | Original -> layout
+  | Pad_l1 ->
+      let layout = with_intra machine program layout in
+      Pad.apply ~size:s1 ~line:l1_line program layout
+  | Pad_multilevel ->
+      let layout = with_intra machine program layout in
+      Multilvlpad.apply machine program layout
+  | Grouppad_l1 ->
+      let layout = with_intra machine program layout in
+      Grouppad.apply ~size:s1 ~line:l1_line program layout
+  | Grouppad_l1_l2 ->
+      let layout = with_intra machine program layout in
+      let layout = Grouppad.apply ~size:s1 ~line:l1_line program layout in
+      let l2_size =
+        match machine.Cs.Machine.geometries with
+        | _ :: g2 :: _ -> g2.Cs.Level.size
+        | _ -> s1
+      in
+      Maxpad.apply_l2 ~s1 ~l2_size program layout

@@ -1,0 +1,41 @@
+let section title =
+  let bar = String.make (String.length title + 4) '=' in
+  Printf.printf "\n%s\n= %s =\n%s\n" bar title bar
+
+let pct v = Printf.sprintf "%.2f%%" v
+
+let f2 v = Printf.sprintf "%.2f" v
+
+let table ~title ~columns rows =
+  section title;
+  let widths =
+    List.mapi
+      (fun i col ->
+        List.fold_left
+          (fun acc row ->
+            match List.nth_opt row i with
+            | Some cell -> max acc (String.length cell)
+            | None -> acc)
+          (String.length col) rows)
+      columns
+  in
+  let print_row cells =
+    List.iteri
+      (fun i cell ->
+        let w = List.nth widths i in
+        Printf.printf "%-*s  " w cell)
+      cells;
+    print_newline ()
+  in
+  print_row columns;
+  print_row (List.map (fun w -> String.make w '-') widths);
+  List.iter print_row rows
+
+let series ~title ~x_label ~labels points =
+  let columns = x_label :: labels in
+  let rows =
+    List.map
+      (fun (x, ys) -> string_of_int x :: List.map f2 ys)
+      points
+  in
+  table ~title ~columns rows

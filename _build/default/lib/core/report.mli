@@ -1,0 +1,17 @@
+(** Plain-text table and series printing for the benches: every figure of
+    the paper is regenerated as rows/series on stdout. *)
+
+(** [table ~title ~columns rows] — columns are headers; each row is a
+    list of cells. *)
+val table : title:string -> columns:string list -> string list list -> unit
+
+(** [series ~title ~x_label ~labels points] — one row per x value:
+    [x, y1, y2, ...], printed as an aligned table (the figure's series). *)
+val series :
+  title:string -> x_label:string -> labels:string list -> (int * float list) list -> unit
+
+val pct : float -> string
+
+val f2 : float -> string
+
+val section : string -> unit

@@ -1,0 +1,36 @@
+open Mlc_ir
+module An = Mlc_analysis
+
+exception Illegal of string
+
+let apply nest var =
+  if not (List.exists (fun l -> l.Loop.var = var) nest.Nest.loops) then
+    raise (Illegal ("Reverse.apply: no loop " ^ var));
+  (* Legal iff no dependence is carried on [var]: check all body pairs. *)
+  let refs = Nest.refs nest in
+  List.iteri
+    (fun i1 r1 ->
+      List.iteri
+        (fun i2 r2 ->
+          if i1 < i2 && (Ref_.is_write r1 || Ref_.is_write r2) then
+            match An.Dependence.between r1 r2 with
+            | An.Dependence.Independent -> ()
+            | An.Dependence.Unknown ->
+                raise (Illegal "Reverse.apply: unanalyzable dependence")
+            | An.Dependence.Distance ds ->
+                let d = try List.assoc var ds with Not_found -> 0 in
+                if d <> 0 then
+                  raise (Illegal ("Reverse.apply: dependence carried by " ^ var)))
+        refs)
+    refs;
+  let loops =
+    List.map
+      (fun l ->
+        if l.Loop.var = var && (l.Loop.hi_min <> None || l.Loop.lo_max <> None) then
+          raise (Illegal "Reverse.apply: cannot reverse a clamped (tiled) loop")
+        else if l.Loop.var = var then
+          { l with Loop.lo = l.Loop.hi; hi = l.Loop.lo; step = -l.Loop.step }
+        else l)
+      nest.Nest.loops
+  in
+  { nest with Nest.loops }

@@ -1,0 +1,13 @@
+(** Loop reversal (a unimodular transformation; Section 2.1 argues it
+    never needs multi-level awareness).  Reversing [for i = lo to hi]
+    yields [for i = lo' = hi downto lo], implemented by negating the step
+    and swapping the bound expressions. *)
+
+open Mlc_ir
+
+exception Illegal of string
+
+(** [apply nest var] reverses the named loop.
+    @raise Illegal when a dependence is carried by that loop (distance
+    would flip sign), or the loop is unknown. *)
+val apply : Nest.t -> string -> Nest.t

@@ -1,0 +1,34 @@
+open Mlc_ir
+
+exception Illegal of string
+
+let apply nest ~var ~width ~strip_var =
+  if width <= 0 then raise (Illegal "Strip_mine.apply: width <= 0");
+  if List.mem strip_var (Nest.vars nest) then
+    raise (Illegal ("Strip_mine.apply: name collision on " ^ strip_var));
+  let found = ref false in
+  let loops =
+    List.concat_map
+      (fun l ->
+        if l.Loop.var <> var then [ l ]
+        else begin
+          if l.Loop.step <> 1 then
+            raise (Illegal "Strip_mine.apply: only unit-step loops");
+          if l.Loop.hi_min <> None || l.Loop.lo_max <> None then
+            raise (Illegal "Strip_mine.apply: loop already clamped");
+          found := true;
+          let strip =
+            Loop.make ~step:width strip_var ~lo:l.Loop.lo ~hi:l.Loop.hi
+          in
+          let element =
+            Loop.make var
+              ~lo:(Expr.var strip_var)
+              ~hi:(Expr.add (Expr.var strip_var) (Expr.const (width - 1)))
+              ~hi_min:l.Loop.hi
+          in
+          [ strip; element ]
+        end)
+      nest.Nest.loops
+  in
+  if not !found then raise (Illegal ("Strip_mine.apply: no loop " ^ var));
+  { nest with Nest.loops }

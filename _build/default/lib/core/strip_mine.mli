@@ -1,0 +1,13 @@
+(** Strip-mining: split [for i = lo to hi] into
+    [for ii = lo to hi step w] / [for i = ii to min(ii + w − 1, hi)].
+    Always legal; combined with {!Permute} it yields tiling (Section 5). *)
+
+open Mlc_ir
+
+exception Illegal of string
+
+(** [apply nest ~var ~width ~strip_var] — the strip loop [strip_var] is
+    inserted immediately outside [var]'s loop.
+    @raise Illegal on unknown loop, non-positive width, non-unit step,
+    clamped loops, or a name collision with [strip_var]. *)
+val apply : Nest.t -> var:string -> width:int -> strip_var:string -> Nest.t

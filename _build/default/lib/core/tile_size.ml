@@ -1,0 +1,133 @@
+type tile = { height : int; width : int }
+
+let euclid_chain ~cache_elems ~col_elems =
+  let rec go a b acc =
+    if b = 0 then List.rev acc else go b (a mod b) (b :: acc)
+  in
+  let start = col_elems mod cache_elems in
+  if start = 0 then [ cache_elems ]
+  else go cache_elems start [ cache_elems ]
+
+(* Circular gap check: columns k = 0..w-1 sit at positions
+   (k * col) mod cache; a tile of height h is conflict-free iff every
+   pair of positions keeps a circular distance >= h (or exactly 0 is
+   impossible for distinct k unless col*k wraps onto itself, which is a
+   conflict whenever h > 0). *)
+let conflict_free ~cache_elems ~col_elems ~height w =
+  if height > cache_elems then false
+  else begin
+    let positions = Array.init w (fun k -> k * col_elems mod cache_elems) in
+    Array.sort compare positions;
+    let ok = ref true in
+    for i = 0 to w - 2 do
+      if positions.(i + 1) - positions.(i) < height then ok := false
+    done;
+    (* wrap-around gap *)
+    if w >= 2 && cache_elems - positions.(w - 1) + positions.(0) < height then
+      ok := false;
+    (* duplicated positions always conflict *)
+    for i = 0 to w - 2 do
+      if positions.(i + 1) = positions.(i) then ok := false
+    done;
+    !ok
+  end
+
+(* Adding a column can only shrink the minimum circular gap, so
+   [conflict_free] is monotone (true up to some width, false beyond):
+   binary search applies. *)
+let max_conflict_free_width ~cache_elems ~col_elems ~height ~max_width =
+  if not (conflict_free ~cache_elems ~col_elems ~height 1) then 0
+  else begin
+    let ok w = conflict_free ~cache_elems ~col_elems ~height w in
+    let lo = ref 1 and hi = ref max_width in
+    if ok max_width then max_width
+    else begin
+      (* invariant: ok lo, not (ok hi) *)
+      while !hi - !lo > 1 do
+        let mid = (!lo + !hi) / 2 in
+        if ok mid then lo := mid else hi := mid
+      done;
+      !lo
+    end
+  end
+
+let footprint_bytes ~elem t = t.height * t.width * elem
+
+let select ?capacity_bytes ~cache_bytes ~elem ~col_elems ~rows () =
+  let capacity = match capacity_bytes with Some c -> c | None -> cache_bytes in
+  let cache_elems = cache_bytes / elem in
+  let capacity_elems = capacity / elem in
+  let candidates =
+    euclid_chain ~cache_elems ~col_elems
+    |> List.map (fun h -> min h rows)
+    |> List.filter (fun h -> h > 0)
+    |> List.sort_uniq compare
+  in
+  (* Score candidates by tiled-matmul misses ~ 1/(2H) + 1/(2W); lower is
+     better.  Halve heights as extra candidates — the chain's raw values
+     can be too tall to admit any width. *)
+  let candidates =
+    List.sort_uniq compare
+      (candidates @ List.map (fun h -> max 1 (h / 2)) candidates)
+  in
+  let best = ref { height = 1; width = 1 } in
+  let best_score = ref infinity in
+  List.iter
+    (fun h ->
+      let max_w = max 1 (capacity_elems / h) in
+      let w =
+        max_conflict_free_width ~cache_elems ~col_elems ~height:h
+          ~max_width:max_w
+      in
+      if w >= 1 then begin
+        let score = (1.0 /. (2.0 *. float_of_int h)) +. (1.0 /. (2.0 *. float_of_int w)) in
+        if score < !best_score then begin
+          best_score := score;
+          best := { height = h; width = w }
+        end
+      end)
+    candidates;
+  !best
+
+let candidates_for ~cache_elems ~col_elems ~rows =
+  euclid_chain ~cache_elems ~col_elems
+  |> List.concat_map (fun h -> [ h; max 1 (h / 2) ])
+  |> List.map (fun h -> min h rows)
+  |> List.filter (fun h -> h > 0)
+  |> List.sort_uniq compare
+
+let lrw ~cache_bytes ~elem ~col_elems ~rows =
+  let cache_elems = cache_bytes / elem in
+  let best = ref { height = 1; width = 1 } in
+  List.iter
+    (fun h ->
+      (* square tile: width = height, conflict-checked *)
+      let w =
+        min h (max_conflict_free_width ~cache_elems ~col_elems ~height:h ~max_width:h)
+      in
+      let side = min h w in
+      if side >= 1 && conflict_free ~cache_elems ~col_elems ~height:side side
+         && side * side > !best.height * !best.width
+      then best := { height = side; width = side })
+    (candidates_for ~cache_elems ~col_elems ~rows);
+  !best
+
+let tss ~cache_bytes ~elem ~col_elems ~rows =
+  let cache_elems = cache_bytes / elem in
+  let best = ref { height = 1; width = 1 } in
+  List.iter
+    (fun h ->
+      let max_w = max 1 (cache_elems / h) in
+      let w =
+        max_conflict_free_width ~cache_elems ~col_elems ~height:h ~max_width:max_w
+      in
+      if w >= 1 && h * w > !best.height * !best.width then
+        best := { height = h; width = w })
+    (candidates_for ~cache_elems ~col_elems ~rows);
+  !best
+
+let no_l2_interference ~s1_elems ~k ~col_elems tile =
+  conflict_free ~cache_elems:(k * s1_elems) ~col_elems ~height:tile.height
+    tile.width
+
+let pp ppf t = Format.fprintf ppf "%dx%d (HxW)" t.height t.width

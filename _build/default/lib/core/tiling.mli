@@ -1,0 +1,30 @@
+(** Tiling (Section 5, Figure 8).
+
+    [tile] is the generic transformation: strip-mine the chosen loops and
+    move the strip loops outermost (preserving their relative order).
+    [matmul] and [tiled_matmul] build the paper's evaluation kernel:
+
+    {v
+    do KK = 1,N,W
+     do II = 1,N,H
+      do J = 1,N
+       do K = KK, min(KK+W-1,N)
+        do I = II, min(II+H-1,N)
+         C(I,J) = C(I,J) + A(I,K)*B(K,J)
+    v} *)
+
+open Mlc_ir
+
+exception Illegal of string
+
+(** [tile nest spec] with [spec] = [(var, width, strip_name); ...]
+    applied outside-in; all strip loops end up outermost, in the order
+    given. *)
+val tile : Nest.t -> (string * int * string) list -> Nest.t
+
+(** Untiled IJK matrix multiplication C = A·B on NxN doubles, J outermost
+    (column-major-friendly: I innermost). *)
+val matmul : int -> Program.t
+
+(** The Figure 8 nest, built with {!tile} from {!matmul}. *)
+val tiled_matmul : n:int -> h:int -> w:int -> Program.t

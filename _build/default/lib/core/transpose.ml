@@ -1,0 +1,62 @@
+open Mlc_ir
+module An = Mlc_analysis
+
+exception Illegal of string
+
+let permute_list perm xs =
+  let a = Array.of_list xs in
+  if Array.length perm <> Array.length a then
+    raise (Illegal "Transpose.apply: arity mismatch");
+  Array.to_list (Array.map (fun old_dim -> a.(old_dim)) perm)
+
+let apply program name perm =
+  let decl = Program.find_array program name in
+  let is_perm =
+    List.sort compare (Array.to_list perm)
+    = List.init (Array.length perm) (fun i -> i)
+  in
+  if not is_perm then raise (Illegal "Transpose.apply: not a permutation");
+  let decl' = { decl with Array_decl.dims = permute_list perm decl.Array_decl.dims } in
+  let arrays =
+    List.map
+      (fun a -> if a.Array_decl.name = name then decl' else a)
+      program.Program.arrays
+  in
+  let rewrite r =
+    if r.Ref_.array <> name then r
+    else { r with Ref_.subs = permute_list perm r.Ref_.subs }
+  in
+  let program = { program with Program.arrays } in
+  Program.map_nests (Nest.map_refs rewrite) program
+
+let transpose_2d program name = apply program name [| 1; 0 |]
+
+(* Count references to [name] that stride by less than a line in their
+   nest's innermost loop. *)
+let unit_stride_refs program layout ~line name =
+  List.fold_left
+    (fun acc nest ->
+      let inner = (Nest.innermost nest).Loop.var in
+      List.fold_left
+        (fun acc r ->
+          if r.Ref_.array = name && Ref_.is_affine r then
+            let stride = abs (An.Reuse.stride_bytes layout r inner) in
+            if stride > 0 && stride < line then acc + 1 else acc
+          else acc)
+        acc (Nest.refs nest))
+    0 program.Program.nests
+
+let optimize program layout ~line =
+  List.fold_left
+    (fun (program, transposed) decl ->
+      let name = decl.Array_decl.name in
+      if List.length decl.Array_decl.dims <> 2 then (program, transposed)
+      else begin
+        let before = unit_stride_refs program layout ~line name in
+        let candidate = transpose_2d program name in
+        let layout' = Layout.initial candidate in
+        let after = unit_stride_refs candidate layout' ~line name in
+        if after > before then (candidate, name :: transposed)
+        else (program, transposed)
+      end)
+    (program, []) program.Program.arrays

@@ -1,0 +1,25 @@
+(** Array transpose — the data-layout transformation of Figure 1
+    (Section 2.2).  The array's dimensions are permuted and every
+    reference's subscripts are permuted to match, so the program computes
+    the same thing with a different memory layout.  Like loop
+    permutation, this improves spatial locality at {e every} cache level
+    at once. *)
+
+open Mlc_ir
+
+exception Illegal of string
+
+(** [apply program name perm] permutes array [name]'s dimensions by
+    [perm] ([perm.(new_dim) = old_dim]) and rewrites every reference.
+    @raise Illegal on arity mismatch or gather subscripts in a permuted
+    dimension. *)
+val apply : Program.t -> string -> int array -> Program.t
+
+(** [transpose_2d program name] — the common case. *)
+val transpose_2d : Program.t -> string -> Program.t
+
+(** Choose arrays whose transposition makes more references unit-stride
+    in their nest's innermost loop; returns the transformed program and
+    the arrays transposed.  A simple, greedy version of [13]'s
+    algorithm. *)
+val optimize : Program.t -> Layout.t -> line:int -> Program.t * string list

@@ -1,0 +1,336 @@
+open Mlc_ir
+module An = Mlc_analysis
+
+exception Illegal of string
+
+type t = int array array
+
+let identity n = Array.init n (fun i -> Array.init n (fun j -> if i = j then 1 else 0))
+
+let permutation n order =
+  if Array.length order <> n then raise (Illegal "Unimodular.permutation: bad order");
+  Array.init n (fun row ->
+      Array.init n (fun col -> if order.(row) = col then 1 else 0))
+
+let reversal n i =
+  let m = identity n in
+  m.(i).(i) <- -1;
+  m
+
+let skew n ~target ~source ~factor =
+  if source >= target then
+    raise (Illegal "Unimodular.skew: source loop must be outside target");
+  let m = identity n in
+  m.(target).(source) <- factor;
+  m
+
+let multiply a b =
+  let n = Array.length a in
+  Array.init n (fun i ->
+      Array.init n (fun j ->
+          let acc = ref 0 in
+          for k = 0 to n - 1 do
+            acc := !acc + (a.(i).(k) * b.(k).(j))
+          done;
+          !acc))
+
+(* Laplace expansion — matrices here are tiny (loop depth <= 5). *)
+let rec determinant m =
+  let n = Array.length m in
+  if n = 0 then 1
+  else if n = 1 then m.(0).(0)
+  else begin
+    let acc = ref 0 in
+    for j = 0 to n - 1 do
+      let minor =
+        Array.init (n - 1) (fun r ->
+            Array.init (n - 1) (fun c -> m.(r + 1).(if c < j then c else c + 1)))
+      in
+      let sign = if j mod 2 = 0 then 1 else -1 in
+      acc := !acc + (sign * m.(0).(j) * determinant minor)
+    done;
+    !acc
+  end
+
+(* Inverse via the adjugate: for |det| = 1 the inverse is integral. *)
+let inverse m =
+  let n = Array.length m in
+  let det = determinant m in
+  if det <> 1 && det <> -1 then
+    raise (Illegal "Unimodular.inverse: matrix is not unimodular");
+  let cofactor i j =
+    let minor =
+      Array.init (n - 1) (fun r ->
+          Array.init (n - 1) (fun c ->
+              m.(if r < i then r else r + 1).(if c < j then c else c + 1)))
+    in
+    let sign = if (i + j) mod 2 = 0 then 1 else -1 in
+    sign * determinant minor
+  in
+  Array.init n (fun i -> Array.init n (fun j -> det * cofactor j i))
+
+let is_permutation_matrix m =
+  Array.for_all
+    (fun row ->
+      Array.for_all (fun x -> x = 0 || x = 1) row
+      && Array.fold_left ( + ) 0 row = 1)
+    m
+
+let lex_sign vec =
+  let rec go i =
+    if i = Array.length vec then 0
+    else if vec.(i) > 0 then 1
+    else if vec.(i) < 0 then -1
+    else go (i + 1)
+  in
+  go 0
+
+let is_legal nest t =
+  let vars = Array.of_list (Nest.vars nest) in
+  let refs = Array.of_list (Nest.refs nest) in
+  let deps = ref [] in
+  Array.iteri
+    (fun i1 r1 ->
+      Array.iteri
+        (fun i2 r2 ->
+          if i1 < i2 && (Ref_.is_write r1 || Ref_.is_write r2) then
+            match An.Dependence.between r1 r2 with
+            | An.Dependence.Independent -> ()
+            | d -> deps := d :: !deps)
+        refs)
+    refs;
+  List.for_all
+    (fun d ->
+      match d with
+      | An.Dependence.Independent -> true
+      | An.Dependence.Unknown -> false
+      | An.Dependence.Distance ds ->
+          let star =
+            Array.exists (fun v -> not (List.mem_assoc v ds)) vars
+            && List.length ds < Array.length vars
+          in
+          if star then
+            (* Fall back to the permutation test when t is a permutation;
+               otherwise be conservative. *)
+            is_permutation_matrix t
+            && An.Dependence.permutation_legal nest
+                 (Array.to_list
+                    (Array.map (fun row ->
+                         let j = ref 0 in
+                         Array.iteri (fun c x -> if x = 1 then j := c) row;
+                         vars.(!j))
+                       t))
+          else begin
+            let vec =
+              Array.map (fun v -> try List.assoc v ds with Not_found -> 0) vars
+            in
+            (* canonicalize: the dependence flows forward in the original
+               order *)
+            let vec = if lex_sign vec < 0 then Array.map (fun x -> -x) vec else vec in
+            let n = Array.length vars in
+            let out = Array.make n 0 in
+            for i = 0 to n - 1 do
+              for j = 0 to n - 1 do
+                out.(i) <- out.(i) + (t.(i).(j) * vec.(j))
+              done
+            done;
+            lex_sign out >= 0
+          end)
+    !deps
+
+(* --- bound generation by Fourier-Motzkin elimination -------------------- *)
+
+(* A constraint is sum(coeffs . y) + const >= 0 over the new iteration
+   variables. *)
+type constr = { coeffs : int array; const : int }
+
+let eliminate k constraints =
+  (* Remove variable k, combining lower/upper pairs. *)
+  let zero, nonzero =
+    List.partition (fun c -> c.coeffs.(k) = 0) constraints
+  in
+  let lowers = List.filter (fun c -> c.coeffs.(k) > 0) nonzero in
+  let uppers = List.filter (fun c -> c.coeffs.(k) < 0) nonzero in
+  let combos =
+    List.concat_map
+      (fun lo ->
+        List.map
+          (fun up ->
+            let a = lo.coeffs.(k) and b = -up.coeffs.(k) in
+            (* b*lo + a*up eliminates y_k *)
+            {
+              coeffs =
+                Array.init (Array.length lo.coeffs) (fun j ->
+                    (b * lo.coeffs.(j)) + (a * up.coeffs.(j)));
+              const = (b * lo.const) + (a * up.const);
+            })
+          uppers)
+      lowers
+  in
+  zero @ combos
+
+let apply nest t =
+  let n = Nest.depth nest in
+  if Array.length t <> n then raise (Illegal "Unimodular.apply: size mismatch");
+  let det = determinant t in
+  if det <> 1 && det <> -1 then
+    raise (Illegal "Unimodular.apply: matrix is not unimodular");
+  if not (is_legal nest t) then
+    raise (Illegal "Unimodular.apply: dependences forbid this transformation");
+  let loops = Array.of_list nest.Nest.loops in
+  Array.iter
+    (fun l ->
+      if
+        (not (Expr.is_const l.Loop.lo))
+        || (not (Expr.is_const l.Loop.hi))
+        || l.Loop.hi_min <> None || l.Loop.step <> 1
+      then
+        raise
+          (Illegal "Unimodular.apply: only constant rectangular unit-step nests"))
+    loops;
+  let tinv = inverse t in
+  let old_names = Array.map (fun l -> l.Loop.var) loops in
+  (* Name the new axes: when row k of T is a unit vector e_c, the new
+     loop IS the old loop c (y_k = x_c) and keeps its name; other rows
+     are genuinely new axes and get fresh names. *)
+  let new_names =
+    let unit_col row =
+      let nonzero = ref [] in
+      Array.iteri (fun j c -> if c <> 0 then nonzero := (j, c) :: !nonzero) row;
+      match !nonzero with [ (j, 1) ] -> Some j | _ -> None
+    in
+    Array.init n (fun k ->
+        match unit_col t.(k) with
+        | Some c -> old_names.(c)
+        | None -> Printf.sprintf "%s'" old_names.(k))
+  in
+  (* Substitute old variables by rows of T^-1 over the new variables.
+     Two phases via fresh names to make the substitution simultaneous. *)
+  let tmp i = Printf.sprintf "__u%d" i in
+  let subst_ref r =
+    let r =
+      Ref_.map_exprs
+        (Expr.rename (fun v ->
+             match Array.to_list old_names |> List.mapi (fun i x -> (x, i))
+                   |> List.assoc_opt v
+             with
+             | Some i -> tmp i
+             | None -> v))
+        r
+    in
+    let r =
+      Array.to_list tinv
+      |> List.mapi (fun i row ->
+             let replacement =
+               Array.to_list row
+               |> List.mapi (fun j c -> Expr.term c new_names.(j))
+               |> List.fold_left Expr.add (Expr.const 0)
+             in
+             (tmp i, replacement))
+      |> List.fold_left
+           (fun r (from, into) ->
+             Ref_.map_exprs (fun e -> Expr.subst from into e) r)
+           r
+    in
+    r
+  in
+  let body = List.map (Stmt.map_refs subst_ref) nest.Nest.body in
+  (* Constraints: lo_i <= (T^-1 y)_i <= hi_i. *)
+  let constraints =
+    List.concat
+      (List.init n (fun i ->
+           let lo = Expr.const_part loops.(i).Loop.lo in
+           let hi = Expr.const_part loops.(i).Loop.hi in
+           [
+             { coeffs = Array.copy tinv.(i); const = -lo };
+             { coeffs = Array.map (fun c -> -c) tinv.(i); const = hi };
+           ]))
+  in
+  (* Peel bounds for each new loop from innermost out.  Up to two lower
+     bounds (the second becomes the lo_max clamp) and two upper bounds
+     (hi_min) are representable in the IR — enough for skewed
+     rectangles and wavefronts. *)
+  let bounds =
+    Array.make n (Expr.const 0, (None : Expr.t option), Expr.const 0, (None : Expr.t option))
+  in
+  let rec peel k constraints =
+    if k < 0 then ()
+    else begin
+      let expr_of coeffs const exclude =
+        (* expression over new variables 0..exclude-1 *)
+        let e = ref (Expr.const const) in
+        for j = 0 to exclude - 1 do
+          e := Expr.add !e (Expr.term coeffs.(j) new_names.(j))
+        done;
+        for j = exclude + 1 to n - 1 do
+          if coeffs.(j) <> 0 then
+            raise (Illegal "Unimodular.apply: bound depends on an inner variable")
+        done;
+        !e
+      in
+      let lowers =
+        List.filter_map
+          (fun c ->
+            if c.coeffs.(k) > 0 then begin
+              if c.coeffs.(k) <> 1 then
+                raise (Illegal "Unimodular.apply: non-unit bound coefficient");
+              (* y_k >= -(rest) *)
+              Some (Expr.scale (-1) (expr_of c.coeffs c.const k))
+            end
+            else None)
+          constraints
+        |> List.sort_uniq Expr.compare
+      in
+      let uppers =
+        List.filter_map
+          (fun c ->
+            if c.coeffs.(k) < 0 then begin
+              if c.coeffs.(k) <> -1 then
+                raise (Illegal "Unimodular.apply: non-unit bound coefficient");
+              (* y_k <= rest *)
+              Some (expr_of c.coeffs c.const k)
+            end
+            else None)
+          constraints
+        |> List.sort_uniq Expr.compare
+      in
+      let lo, lo_max =
+        match lowers with
+        | [ lo ] -> (lo, None)
+        | [ lo1; lo2 ] -> (lo1, Some lo2)
+        | _ ->
+            raise
+              (Illegal
+                 (Printf.sprintf
+                    "Unimodular.apply: %d lower bounds for loop %d"
+                    (List.length lowers) k))
+      in
+      let hi, hi_min =
+        match uppers with
+        | [ hi ] -> (hi, None)
+        | [ hi1; hi2 ] -> (hi1, Some hi2)
+        | _ ->
+            raise
+              (Illegal
+                 (Printf.sprintf
+                    "Unimodular.apply: %d upper bounds for loop %d"
+                    (List.length uppers) k))
+      in
+      bounds.(k) <- (lo, lo_max, hi, hi_min);
+      peel (k - 1) (eliminate k constraints)
+    end
+  in
+  peel (n - 1) constraints;
+  let new_loops =
+    List.init n (fun k ->
+        let lo, lo_max, hi, hi_min = bounds.(k) in
+        Loop.make ?lo_max ?hi_min new_names.(k) ~lo ~hi)
+  in
+  { Nest.loops = new_loops; body }
+
+let pp ppf m =
+  Array.iter
+    (fun row ->
+      Format.fprintf ppf "[%s]@."
+        (String.concat " " (Array.to_list (Array.map string_of_int row))))
+    m

@@ -1,0 +1,50 @@
+(** Unimodular loop transformations (Wolf & Lam), which Section 2.1 argues
+    never need multi-level awareness: permutation, reversal and skewing as
+    integer matrices with |det| = 1 acting on the iteration space.
+
+    A transformation [T] maps iteration vector [I] to [I' = T·I].  The
+    transformed nest runs over [I'] and the body sees [I = T⁻¹·I'].
+    Bounds are handled for the rectangular and skewed-rectangular cases
+    the paper's kernels need: permutation and reversal keep rectangular
+    bounds; skewing an inner loop by outer loops produces shifted bounds
+    [lo + k·outer, hi + k·outer]. *)
+
+open Mlc_ir
+
+exception Illegal of string
+
+type t = int array array  (** row-major square matrix *)
+
+val identity : int -> t
+
+(** [permutation n order] — [order.(new_row) = old_index]. *)
+val permutation : int -> int array -> t
+
+(** [reversal n i] negates loop [i]. *)
+val reversal : int -> int -> t
+
+(** [skew n ~target ~source ~factor] adds [factor · source] to [target]
+    (source must be outer, i.e. [source < target]). *)
+val skew : int -> target:int -> source:int -> factor:int -> t
+
+val multiply : t -> t -> t
+
+val determinant : t -> int
+
+(** Inverse of a unimodular matrix (integer entries).
+    @raise Illegal when |det| ≠ 1. *)
+val inverse : t -> t
+
+(** [is_legal nest t] — every dependence distance vector [d] of the nest
+    must satisfy [T·d] lexicographically positive (or zero).  Vectors
+    with unconstrained components are accepted only if untouched by [t]
+    beyond their own row, conservatively. *)
+val is_legal : Nest.t -> t -> bool
+
+(** [apply nest t] — transform a nest with constant rectangular bounds.
+    Skewed rows produce bounds shifted by the outer variables.
+    @raise Illegal on non-unimodular matrices, illegal dependences, or
+    unsupported bound shapes. *)
+val apply : Nest.t -> t -> Nest.t
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/frontend/parser.ml: Array_decl Expr Format Lexer List Loop Mlc_ir Nest Printf Program Ref_ Stmt String Validate

@@ -1,0 +1,46 @@
+(** Parser for the kernel language — a small Fortran-flavoured notation
+    for the programs the paper studies.  Example:
+
+    {v
+    program jacobi steps 10
+    array A(512,512)
+    array B(512,512)
+
+    # five-point stencil
+    for j = 1 to 510 {
+      for i = 1 to 510 {
+        A(i,j) = 0 - B(i-1,j) + B(i+1,j) + B(i,j-1) + B(i,j+1)
+      }
+    }
+    for j = 1 to 510 {
+      for i = 1 to 510 {
+        B(i,j) = A(i,j)
+      }
+    }
+    v}
+
+    Grammar (informally):
+    - [program NAME [steps N]] then array declarations then loop nests;
+    - [array NAME(d1,...,dk) [int|real]] — column-major, [real] (8 bytes)
+      by default;
+    - [for v = lo to hi [step k] { ... }] with affine bounds; [downto]
+      iterates downward; nests must be perfect (either one inner loop or
+      a sequence of assignment statements);
+    - statements are [NAME(subs) = expr]; every array reference on the
+      right is a read, the left-hand side a write; arithmetic operators
+      are counted as flops; bare identifiers that are not loop variables
+      are scalars held in registers (no memory reference);
+    - subscripts must be affine in the loop variables;
+    - [#] and [//] start comments.
+
+    Loop variables may shadow nothing; all referenced arrays must be
+    declared.  The result is checked with {!Mlc_ir.Validate}. *)
+
+exception Error of string * int * int  (** message, line, col *)
+
+(** Parse a full program from source text.
+    @raise Error with position information. *)
+val parse : string -> Mlc_ir.Program.t
+
+(** Parse a file. *)
+val parse_file : string -> Mlc_ir.Program.t

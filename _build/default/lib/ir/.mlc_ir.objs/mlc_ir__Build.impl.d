@@ -1,0 +1,1 @@
+lib/ir/build.ml: Array_decl Expr List Loop Nest Program Ref_ Stmt Subscript

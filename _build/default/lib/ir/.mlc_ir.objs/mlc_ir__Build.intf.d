@@ -1,0 +1,1 @@
+lib/ir/build.mli: Array_decl Expr Loop Nest Program Ref_ Stmt

@@ -1,0 +1,1 @@
+lib/ir/interp.ml: Array Expr Hashtbl Layout List Loop Mlc_cachesim Nest Program Ref_ Stmt

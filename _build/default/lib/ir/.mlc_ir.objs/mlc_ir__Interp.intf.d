@@ -1,0 +1,1 @@
+lib/ir/interp.mli: Layout Mlc_cachesim Program

@@ -1,0 +1,1 @@
+lib/ir/layout.ml: Array_decl Expr Format List Program Ref_ Subscript

@@ -1,0 +1,1 @@
+lib/ir/layout.mli: Array_decl Expr Format Program Ref_

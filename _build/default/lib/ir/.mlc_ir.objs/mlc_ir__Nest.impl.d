@@ -1,0 +1,1 @@
+lib/ir/nest.ml: Format List Loop Stmt

@@ -1,0 +1,1 @@
+lib/ir/nest.mli: Format Loop Ref_ Stmt

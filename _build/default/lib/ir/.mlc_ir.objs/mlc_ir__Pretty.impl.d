@@ -1,0 +1,1 @@
+lib/ir/pretty.ml: Array_decl Buffer Expr List Loop Nest Printf Program Ref_ Stmt String Subscript

@@ -1,0 +1,1 @@
+lib/ir/program.ml: Array_decl Format Hashtbl List Nest Printf Stmt

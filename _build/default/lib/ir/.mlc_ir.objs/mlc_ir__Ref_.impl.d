@@ -1,0 +1,1 @@
+lib/ir/ref_.ml: Expr Format List String Subscript

@@ -1,0 +1,1 @@
+lib/ir/ref_.mli: Expr Format Subscript

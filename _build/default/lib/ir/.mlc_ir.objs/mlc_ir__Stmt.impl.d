@@ -1,0 +1,1 @@
+lib/ir/stmt.ml: Format List Ref_ String

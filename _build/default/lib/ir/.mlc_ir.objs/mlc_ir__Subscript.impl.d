@@ -1,0 +1,1 @@
+lib/ir/subscript.ml: Array Expr Format Printf

@@ -1,0 +1,1 @@
+lib/ir/subscript.mli: Expr Format

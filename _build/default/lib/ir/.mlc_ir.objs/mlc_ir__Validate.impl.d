@@ -1,0 +1,1 @@
+lib/ir/validate.ml: Array Array_decl Expr Format Hashtbl List Loop Nest Option Printf Program Ref_ String Subscript

@@ -1,0 +1,159 @@
+module Cs = Mlc_cachesim
+
+type result = {
+  total_refs : int;
+  misses : int list;
+  miss_rates : float list;
+  memory_accesses : int;
+  flops : int;
+  cycles : float;
+  seconds : float;
+  mflops : float;
+}
+
+(* A compiled reference: either fully linear in the loop variables, or a
+   slow closure for gather subscripts. *)
+type cref =
+  | Linear of { base : int; strides : int array }
+  | Slow of Ref_.t
+
+let compile_ref layout ~var_level ~depth r =
+  if Ref_.is_affine r then begin
+    let addr = Layout.address_expr layout r in
+    let strides = Array.make depth 0 in
+    List.iter
+      (fun v ->
+        match Hashtbl.find_opt var_level v with
+        | Some level -> strides.(level) <- Expr.coeff addr v
+        | None -> invalid_arg ("Interp: unbound loop variable " ^ v))
+      (Expr.vars addr);
+    Linear { base = Expr.const_part addr; strides }
+  end
+  else Slow r
+
+let feed_nest hierarchy layout nest =
+  let loops = Array.of_list nest.Nest.loops in
+  let depth = Array.length loops in
+  let var_level = Hashtbl.create 8 in
+  Array.iteri (fun i l -> Hashtbl.replace var_level l.Loop.var i) loops;
+  let body_refs = List.concat_map (fun s -> s.Stmt.refs) nest.Nest.body in
+  let crefs =
+    body_refs
+    |> List.map (compile_ref layout ~var_level ~depth)
+    |> Array.of_list
+  in
+  let is_write = Array.of_list (List.map Ref_.is_write body_refs) in
+  let nrefs = Array.length crefs in
+  let flops_per_iter =
+    List.fold_left (fun acc s -> acc + s.Stmt.flops) 0 nest.Nest.body
+  in
+  (* partials.(l).(r): address contribution of loop levels < l plus the
+     base constant; column 0 holds the bases. *)
+  let partials = Array.make_matrix (depth + 1) nrefs 0 in
+  Array.iteri
+    (fun r cref ->
+      match cref with
+      | Linear { base; _ } -> partials.(0).(r) <- base
+      | Slow _ -> ())
+    crefs;
+  let ivs = Array.make depth 0 in
+  let env v =
+    match Hashtbl.find_opt var_level v with
+    | Some level -> ivs.(level)
+    | None -> invalid_arg ("Interp: unbound variable " ^ v)
+  in
+  let flops = ref 0 in
+  let rec go level =
+    if level = depth then begin
+      let leaf = partials.(depth) in
+      for r = 0 to nrefs - 1 do
+        let addr =
+          match crefs.(r) with
+          | Linear _ -> leaf.(r)
+          | Slow ref_ -> Layout.address_of_ref layout env ref_
+        in
+        ignore (Cs.Hierarchy.access hierarchy ~write:is_write.(r) addr)
+      done;
+      flops := !flops + flops_per_iter
+    end
+    else begin
+      let loop = loops.(level) in
+      let cur = partials.(level) in
+      let next = partials.(level + 1) in
+      Loop.iter env loop (fun iv ->
+          ivs.(level) <- iv;
+          for r = 0 to nrefs - 1 do
+            let stride =
+              match crefs.(r) with
+              | Linear { strides; _ } -> strides.(level)
+              | Slow _ -> 0
+            in
+            next.(r) <- cur.(r) + (stride * iv)
+          done;
+          go (level + 1))
+    end
+  in
+  go 0;
+  !flops
+
+let feed hierarchy layout program =
+  let flops = ref 0 in
+  for _step = 1 to program.Program.time_steps do
+    List.iter
+      (fun nest -> flops := !flops + feed_nest hierarchy layout nest)
+      program.Program.nests
+  done;
+  !flops
+
+let run machine layout program =
+  let hierarchy = Cs.Machine.hierarchy machine in
+  let flops = feed hierarchy layout program in
+  let total_refs = Cs.Hierarchy.total_refs hierarchy in
+  let misses =
+    List.map
+      (fun level -> (Cs.Level.stats level).Cs.Stats.misses)
+      (Cs.Hierarchy.levels hierarchy)
+  in
+  let cycles = Cs.Cost_model.cycles machine.Cs.Machine.cost hierarchy in
+  let seconds = Cs.Cost_model.seconds machine.Cs.Machine.cost hierarchy in
+  {
+    total_refs;
+    misses;
+    miss_rates = Cs.Hierarchy.miss_rates hierarchy;
+    memory_accesses = Cs.Hierarchy.memory_accesses hierarchy;
+    flops;
+    cycles;
+    seconds;
+    mflops = Cs.Cost_model.mflops machine.Cs.Machine.cost ~flops hierarchy;
+  }
+
+let trace layout program =
+  let out = ref [] in
+  let rec run_nest env loops body =
+    match loops with
+    | [] ->
+        List.iter
+          (fun s ->
+            List.iter
+              (fun r ->
+                let env_fn v =
+                  match List.assoc_opt v env with
+                  | Some value -> value
+                  | None -> invalid_arg ("Interp.trace: unbound " ^ v)
+                in
+                out := Layout.address_of_ref layout env_fn r :: !out)
+              s.Stmt.refs)
+          body
+    | loop :: rest ->
+        let env_fn v =
+          match List.assoc_opt v env with
+          | Some value -> value
+          | None -> invalid_arg ("Interp.trace: unbound " ^ v)
+        in
+        Loop.iter env_fn loop (fun iv ->
+            run_nest ((loop.Loop.var, iv) :: env) rest body)
+  in
+  for _step = 1 to program.Program.time_steps do
+    List.iter (fun n -> run_nest [] n.Nest.loops n.Nest.body) program.Program.nests
+  done;
+  Array.of_list (List.rev !out)

@@ -1,0 +1,31 @@
+(** Executes a program's memory-reference stream against a cache
+    hierarchy.
+
+    References with affine subscripts are compiled to a base constant plus
+    one stride per loop level, so the inner loop only performs integer
+    adds; gather references take a slow path that evaluates the table
+    lookup.  [trace] is a deliberately naive evaluator used to cross-check
+    the fast path in tests. *)
+
+type result = {
+  total_refs : int;
+  misses : int list;       (** per level, L1 first *)
+  miss_rates : float list; (** per level, vs total refs (paper convention) *)
+  memory_accesses : int;
+  flops : int;
+  cycles : float;
+  seconds : float;
+  mflops : float;
+}
+
+(** [run machine layout program] simulates one full execution on a fresh
+    hierarchy. *)
+val run : Mlc_cachesim.Machine.t -> Layout.t -> Program.t -> result
+
+(** [feed hierarchy layout program] pushes the reference stream through an
+    existing hierarchy (no cost model applied); returns flops executed. *)
+val feed : Mlc_cachesim.Hierarchy.t -> Layout.t -> Program.t -> int
+
+(** Naive full address trace (byte addresses, program order).  Intended
+    for small programs in tests; allocates the whole trace. *)
+val trace : Layout.t -> Program.t -> int array

@@ -1,0 +1,14 @@
+(** Pretty-printer: emit a program in the kernel-language syntax that
+    {!Mlc_frontend.Parser} reads back.
+
+    The IR keeps references and flop counts but not the arithmetic
+    between them, so statement right-hand sides are printed as a sum of
+    the read references (every read appears exactly once) — parsing the
+    output yields a program with the {e same reference stream} as the
+    original, which is the round-trip property the tests check.
+    Statements with no write (the paper's elided left-hand sides of
+    Figure 2) are printed as assignments to their first read. *)
+
+val program : Program.t -> string
+
+val nest : Nest.t -> string

@@ -1,0 +1,31 @@
+type t =
+  | Affine of Expr.t
+  | Gather of { table : int array; index : Expr.t }
+
+let affine e = Affine e
+
+let gather ~table ~index = Gather { table; index }
+
+let is_affine = function Affine _ -> true | Gather _ -> false
+
+let eval env = function
+  | Affine e -> Expr.eval env e
+  | Gather { table; index } ->
+      let i = Expr.eval env index in
+      if i < 0 || i >= Array.length table then
+        invalid_arg
+          (Printf.sprintf "Subscript.eval: gather index %d outside table of %d" i
+             (Array.length table))
+      else table.(i)
+
+let expr = function
+  | Affine e -> e
+  | Gather _ -> invalid_arg "Subscript.expr: gather subscript"
+
+let map_expr f = function
+  | Affine e -> Affine (f e)
+  | Gather { table; index } -> Gather { table; index = f index }
+
+let pp ppf = function
+  | Affine e -> Expr.pp ppf e
+  | Gather { index; _ } -> Format.fprintf ppf "idx[%a]" Expr.pp index

@@ -1,0 +1,1 @@
+lib/kernels/det_random.mli:

@@ -1,0 +1,1 @@
+lib/kernels/livermore.ml: Build Det_random Loop Mlc_ir Printf Stmt

@@ -1,0 +1,1 @@
+lib/kernels/livermore.mli: Mlc_ir Program

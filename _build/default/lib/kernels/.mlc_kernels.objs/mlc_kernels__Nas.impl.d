@@ -1,0 +1,1 @@
+lib/kernels/nas.ml: Array Build Det_random Loop Mlc_ir Printf Stmt

@@ -1,0 +1,1 @@
+lib/kernels/nas.mli: Mlc_ir Program

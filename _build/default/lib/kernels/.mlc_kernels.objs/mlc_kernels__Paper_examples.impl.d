@@ -1,0 +1,1 @@
+lib/kernels/paper_examples.ml: Build Mlc_ir Stmt

@@ -1,0 +1,1 @@
+lib/kernels/paper_examples.mli: Mlc_ir Program

@@ -1,0 +1,1 @@
+lib/kernels/registry.ml: List Livermore Mlc_ir Nas Program Spec String

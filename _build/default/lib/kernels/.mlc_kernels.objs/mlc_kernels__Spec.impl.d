@@ -1,0 +1,1 @@
+lib/kernels/spec.ml: Build Det_random Livermore Mlc_ir Printf Program Stmt

@@ -1,0 +1,1 @@
+lib/kernels/spec.mli: Mlc_ir Program

@@ -1,0 +1,1 @@
+lib/kernels/time_kernels.ml: Build Expr Loop Mlc_ir Nest Printf

@@ -1,0 +1,1 @@
+lib/kernels/time_kernels.mli: Mlc_ir Program

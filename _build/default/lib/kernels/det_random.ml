@@ -1,0 +1,28 @@
+type t = { mutable state : int }
+
+let create ~seed = { state = (seed lxor 0x1E3779B97F4A7C15) lor 1 }
+
+(* LCG with a 62-bit-safe multiplier (OCaml ints are 63-bit); masking
+   keeps the state positive. *)
+let next t =
+  t.state <- (t.state * 2862933555777941757) + 3037000493;
+  t.state land max_int
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Det_random.int: bound <= 0";
+  next t mod bound
+
+let table ~seed ~n ~bound =
+  let t = create ~seed in
+  Array.init n (fun _ -> int t bound)
+
+let permutation ~seed ~n =
+  let t = create ~seed in
+  let a = Array.init n (fun i -> i) in
+  for i = n - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done;
+  a

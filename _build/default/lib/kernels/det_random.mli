@@ -1,0 +1,16 @@
+(** Deterministic pseudo-random sequences (64-bit LCG) for building
+    reproducible gather tables: every run of the suite sees the same
+    irregular meshes, sort keys and sparse patterns. *)
+
+type t
+
+val create : seed:int -> t
+
+(** Uniform in [0, bound). *)
+val int : t -> int -> int
+
+(** A table of [n] indices in [0, bound). *)
+val table : seed:int -> n:int -> bound:int -> int array
+
+(** A permutation of [0, n). *)
+val permutation : seed:int -> n:int -> int array

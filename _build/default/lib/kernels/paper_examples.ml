@@ -1,0 +1,71 @@
+open Mlc_ir
+open Build
+
+let figure1 ~n ~m =
+  let a = arr "A" [ n; m ] and b = arr "B" [ n ] in
+  let i = v "i" and j = v "j" in
+  program "figure1" [ a; b ]
+    [
+      nest
+        [ loop "j" 0 (n - 1); loop "i" 0 (m - 1) ]
+        [ asn ~flops:1 (w "B" [ j ]) [ r "A" [ j; i ] ] ];
+    ]
+
+let figure1_permuted ~n ~m =
+  let a = arr "A" [ n; m ] and b = arr "B" [ n ] in
+  let i = v "i" and j = v "j" in
+  program "figure1-permuted" [ a; b ]
+    [
+      nest
+        [ loop "i" 0 (m - 1); loop "j" 0 (n - 1) ]
+        [ asn ~flops:1 (w "B" [ j ]) [ r "A" [ j; i ] ] ];
+    ]
+
+let figure1_transposed ~n ~m =
+  let a = arr "A" [ m; n ] and b = arr "B" [ n ] in
+  let i = v "i" and j = v "j" in
+  program "figure1-transposed" [ a; b ]
+    [
+      nest
+        [ loop "j" 0 (n - 1); loop "i" 0 (m - 1) ]
+        [ asn ~flops:1 (w "B" [ j ]) [ r "A" [ i; j ] ] ];
+    ]
+
+(* The paper's Figure 2 statements show only right-hand sides; we model
+   each statement as its reads (plus a flop count), which is exactly what
+   the layout diagrams (Figures 3-5, 7) contain. *)
+let figure2 n =
+  let a = arr "A" [ n; n ] and b = arr "B" [ n; n ] and c = arr "C" [ n; n ] in
+  let i = v "i" and j = v "j" in
+  program "figure2" [ a; b; c ]
+    [
+      nest
+        [ loop "j" 1 (n - 2); loop "i" 0 (n - 1) ]
+        [
+          Stmt.make ~flops:1 [ r "A" [ i; j ]; r "A" [ i; j +! 1 ] ];
+          Stmt.make ~flops:1 [ r "B" [ i; j ]; r "B" [ i; j +! 1 ] ];
+          Stmt.make ~flops:1 [ r "C" [ i; j ]; r "C" [ i; j +! 1 ] ];
+        ];
+      nest
+        [ loop "j" 1 (n - 2); loop "i" 0 (n - 1) ]
+        [
+          Stmt.make ~flops:2 [ r "B" [ i; j -! 1 ]; r "B" [ i; j ]; r "B" [ i; j +! 1 ] ];
+          Stmt.make ~flops:0 [ r "C" [ i; j ] ];
+        ];
+    ]
+
+let figure6_fused n =
+  let a = arr "A" [ n; n ] and b = arr "B" [ n; n ] and c = arr "C" [ n; n ] in
+  let i = v "i" and j = v "j" in
+  program "figure6-fused" [ a; b; c ]
+    [
+      nest
+        [ loop "j" 1 (n - 2); loop "i" 0 (n - 1) ]
+        [
+          Stmt.make ~flops:1 [ r "A" [ i; j ]; r "A" [ i; j +! 1 ] ];
+          Stmt.make ~flops:1 [ r "B" [ i; j ]; r "B" [ i; j +! 1 ] ];
+          Stmt.make ~flops:1 [ r "C" [ i; j ]; r "C" [ i; j +! 1 ] ];
+          Stmt.make ~flops:2 [ r "B" [ i; j -! 1 ]; r "B" [ i; j ]; r "B" [ i; j +! 1 ] ];
+          Stmt.make ~flops:0 [ r "C" [ i; j ] ];
+        ];
+    ]

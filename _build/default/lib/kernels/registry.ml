@@ -1,0 +1,93 @@
+open Mlc_ir
+
+type category = Kernel | Nas | Spec
+
+type entry = {
+  name : string;
+  description : string;
+  category : category;
+  paper_lines : int;
+  build : unit -> Program.t;
+  build_sized : (int -> Program.t) option;
+}
+
+let category_name = function
+  | Kernel -> "KERNELS"
+  | Nas -> "NAS BENCHMARKS"
+  | Spec -> "SPEC95 BENCHMARKS"
+
+let entry ?build_sized name description category paper_lines build =
+  { name; description; category; paper_lines; build; build_sized }
+
+let kernels =
+  [
+    entry "ADI32" "2D ADI Integration Fragment (Liv8)" Kernel 63
+      (fun () -> Livermore.adi 256)
+      ~build_sized:Livermore.adi;
+    entry "DOT256" "Vector Dot Product (Liv3)" Kernel 32
+      (fun () -> Livermore.dot 256_000)
+      ~build_sized:Livermore.dot;
+    entry "ERLE64" "3D Tridiagonal Solver" Kernel 612
+      (fun () -> Livermore.erle 64)
+      ~build_sized:Livermore.erle;
+    entry "EXPL512" "2D Explicit Hydrodynamics (Liv18)" Kernel 59
+      (fun () -> Livermore.expl 512)
+      ~build_sized:Livermore.expl;
+    entry "IRR500K" "Relaxation over Irregular Mesh" Kernel 196
+      (fun () -> Livermore.irr 500_000)
+      ~build_sized:Livermore.irr;
+    entry "JACOBI512" "2D Jacobi with Convergence Test" Kernel 52
+      (fun () -> Livermore.jacobi 512)
+      ~build_sized:Livermore.jacobi;
+    entry "LINPACKD" "Gaussian Elimination w/Pivoting" Kernel 795
+      (fun () -> Livermore.linpackd 256)
+      ~build_sized:Livermore.linpackd;
+    entry "SHAL512" "Shallow Water Model" Kernel 227
+      (fun () -> Livermore.shal 512)
+      ~build_sized:(fun n -> Livermore.shal n);
+  ]
+
+let nas =
+  [
+    entry "APPBT" "Block-Tridiagonal PDE Solver" Nas 4441 (fun () -> Nas.bt 64)
+      ~build_sized:Nas.bt;
+    entry "APPLU" "Parabolic/Elliptic PDE Solver" Nas 3417 (fun () -> Nas.lu 64)
+      ~build_sized:Nas.lu;
+    entry "APPSP" "Scalar-Pentadiagonal PDE Solver" Nas 3991 (fun () -> Nas.sp 64)
+      ~build_sized:Nas.sp;
+    entry "BUK" "Integer Bucket Sort" Nas 305 (fun () -> Nas.buk 1_000_000)
+      ~build_sized:(fun n -> Nas.buk n);
+    entry "CGM" "Sparse Conjugate Gradient" Nas 855 (fun () -> Nas.cgm 75_000)
+      ~build_sized:(fun n -> Nas.cgm n);
+    entry "EMBAR" "Monte Carlo" Nas 265 (fun () -> Nas.embar 1_000_000)
+      ~build_sized:Nas.embar;
+    entry "FFTPDE" "3D Fast Fourier Transform" Nas 773 (fun () -> Nas.fftpde 262_144)
+      ~build_sized:Nas.fftpde;
+    entry "MGRID" "Multigrid Solver" Nas 680 (fun () -> Nas.mgrid 64)
+      ~build_sized:Nas.mgrid;
+  ]
+
+let spec =
+  [
+    entry "APSI" "Pseudospectral Air Pollution" Spec 7361 (fun () -> Spec.apsi 128)
+      ~build_sized:Spec.apsi;
+    entry "FPPPP" "2 Electron Integral Derivative" Spec 2784 (fun () -> Spec.fpppp 2048)
+      ~build_sized:Spec.fpppp;
+    entry "HYDRO2D" "Navier-Stokes" Spec 4292 (fun () -> Spec.hydro2d 512)
+      ~build_sized:Spec.hydro2d;
+    entry "SU2COR" "Quantum Physics" Spec 2332 (fun () -> Spec.su2cor 256)
+      ~build_sized:Spec.su2cor;
+    entry "SWIM" "Vector Shallow Water Model" Spec 429 (fun () -> Spec.swim 512)
+      ~build_sized:Spec.swim;
+    entry "TOMCATV" "Mesh Generation" Spec 190 (fun () -> Spec.tomcatv 257)
+      ~build_sized:Spec.tomcatv;
+    entry "TURB3D" "Isotropic Turbulence" Spec 2100 (fun () -> Spec.turb3d 64)
+      ~build_sized:Spec.turb3d;
+    entry "WAVE5" "Maxwell's Equations" Spec 7764 (fun () -> Spec.wave5 512)
+      ~build_sized:(fun n -> Spec.wave5 n);
+  ]
+
+let all = kernels @ nas @ spec
+
+let find name =
+  List.find (fun e -> String.lowercase_ascii e.name = String.lowercase_ascii name) all

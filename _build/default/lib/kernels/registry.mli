@@ -1,0 +1,28 @@
+(** The program inventory of Table 1, with builders at their default
+    (paper) problem sizes. *)
+
+open Mlc_ir
+
+type category = Kernel | Nas | Spec
+
+type entry = {
+  name : string;        (** Table 1 name, e.g. "EXPL512" *)
+  description : string; (** Table 1 description *)
+  category : category;
+  paper_lines : int;    (** source-line count from Table 1 *)
+  build : unit -> Program.t;         (** at the default size *)
+  build_sized : (int -> Program.t) option;  (** size-parameterized, when meaningful *)
+}
+
+val all : entry list
+
+val kernels : entry list
+
+val nas : entry list
+
+val spec : entry list
+
+(** @raise Not_found *)
+val find : string -> entry
+
+val category_name : category -> string

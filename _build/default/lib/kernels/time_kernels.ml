@@ -1,0 +1,52 @@
+open Mlc_ir
+open Build
+
+(* In-place 5-point relaxation: legal to time-skew (the k-1 / j-1 values
+   are from the current sweep, k+1 / j+1 from the previous one, exactly
+   as Gauss-Seidel executes). *)
+let body_stmt =
+  let j = v "j" and k = v "k" in
+  asn ~flops:4
+    (w "A" [ j; k ])
+    [
+      r "A" [ j -! 1; k ]; r "A" [ j +! 1; k ];
+      r "A" [ j; k -! 1 ]; r "A" [ j; k +! 1 ];
+    ]
+
+let sweep_2d ~n ~steps =
+  let a = arr "A" [ n; n ] in
+  program ~time_steps:steps
+    (Printf.sprintf "sweep2d-%d-t%d" n steps)
+    [ a ]
+    [
+      nest [ loop "k" 1 (n - 2); loop "j" 1 (n - 2) ] [ body_stmt ];
+    ]
+
+let tile_columns ~steps ~block = block + steps
+
+let time_tiled_2d ~n ~steps ~block =
+  if block < 1 || steps < 1 then invalid_arg "time_tiled_2d: bad parameters";
+  let a = arr "A" [ n; n ] in
+  (* kk walks column blocks; within a block, all [steps] time steps run
+     before moving on; the column range of step t is shifted left by t
+     (time skewing).  Interior only: kk starts past the deepest skew and
+     the clamp trims the right edge. *)
+  let kk = v "kk" and t = v "t" in
+  let lo_kk = steps in
+  let nest_tiled =
+    Nest.make
+      [
+        Loop.make ~step:block "kk" ~lo:(c lo_kk) ~hi:(c (n - 2));
+        loop "t" 0 (steps - 1);
+        Loop.make "k"
+          ~lo:(Expr.sub kk t)
+          ~hi:(Expr.add (Expr.sub kk t) (c (block - 1)))
+          ~hi_min:(c (n - 2));
+        loop "j" 1 (n - 2);
+      ]
+      [ body_stmt ]
+  in
+  program
+    (Printf.sprintf "sweep2d-%d-t%d-tiled-b%d" n steps block)
+    [ a ]
+    [ nest_tiled ]

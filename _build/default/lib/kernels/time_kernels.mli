@@ -1,0 +1,21 @@
+(** Time-step kernels for the Section 5 exception (Song & Li [25]):
+    tiling {e across} time steps needs tiles holding a block of columns
+    plus a column per time step — too large for the L1 cache, so the
+    tile targets L2.
+
+    [sweep_2d] is a Gauss–Seidel-style 2D relaxation repeated [steps]
+    times.  [time_tiled_2d] is its time-skewed blocked form: a block of
+    [block] columns is carried through all time steps before moving on
+    (interior only: the boundary wedges are trimmed rather than peeled,
+    so the tiled program performs the same interior work with the same
+    reference pattern, which is what the cache comparison needs). *)
+
+open Mlc_ir
+
+val sweep_2d : n:int -> steps:int -> Program.t
+
+val time_tiled_2d : n:int -> steps:int -> block:int -> Program.t
+
+(** Columns a tile touches: [block + steps] columns of the array — the
+    quantity that must fit in the targeted cache level. *)
+val tile_columns : steps:int -> block:int -> int

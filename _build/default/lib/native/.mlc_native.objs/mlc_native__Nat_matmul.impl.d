@@ -1,0 +1,1 @@
+lib/native/nat_matmul.ml: Array

@@ -1,0 +1,1 @@
+test/test_analysis.ml: Alcotest Build Expr Layout List Locality Mlc_analysis Mlc_ir Mlc_kernels Program Ref_ String

@@ -1,0 +1,1 @@
+test/test_cachesim.ml: Alcotest Gen List Mlc_cachesim QCheck QCheck_alcotest

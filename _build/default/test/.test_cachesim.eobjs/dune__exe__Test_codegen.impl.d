@@ -1,0 +1,1 @@
+test/test_codegen.ml: Alcotest Build Filename In_channel Interp Layout List Locality Mlc_codegen Mlc_frontend Mlc_ir Mlc_kernels Option Pretty Printf QCheck QCheck_alcotest String Sys Unix

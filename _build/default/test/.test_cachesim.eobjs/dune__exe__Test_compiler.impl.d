@@ -1,0 +1,1 @@
+test/test_compiler.ml: Alcotest Array Interp Layout List Locality Mlc_cachesim Mlc_ir Mlc_kernels Nest Printf Program String

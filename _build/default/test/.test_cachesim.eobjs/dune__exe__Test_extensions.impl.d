@@ -1,0 +1,1 @@
+test/test_extensions.ml: Alcotest Array Build Interp Layout List Locality Mlc_cachesim Mlc_ir Mlc_kernels Mlc_native Nest Printf Program Validate

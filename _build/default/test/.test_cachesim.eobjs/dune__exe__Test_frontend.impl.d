@@ -1,0 +1,1 @@
+test/test_frontend.ml: Alcotest Array Array_decl Interp Layout List Locality Mlc_cachesim Mlc_frontend Mlc_ir Mlc_kernels Nest Printf Program Stmt String

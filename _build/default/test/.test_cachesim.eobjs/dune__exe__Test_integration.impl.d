@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Interp Layout List Locality Mlc_cachesim Mlc_ir Mlc_kernels Printf Program

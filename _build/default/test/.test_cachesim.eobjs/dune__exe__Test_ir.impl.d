@@ -1,0 +1,1 @@
+test/test_ir.ml: Alcotest Array_decl Expr Format Interp Layout List Loop Mlc_cachesim Mlc_ir Nest Program QCheck QCheck_alcotest Ref_ Stmt Subscript Validate

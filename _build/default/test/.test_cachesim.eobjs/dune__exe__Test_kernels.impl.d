@@ -1,0 +1,1 @@
+test/test_kernels.ml: Alcotest Format Interp Layout List Locality Mlc_ir Mlc_kernels Nest Program String Validate

@@ -1,0 +1,1 @@
+test/test_misc.ml: Alcotest Array_decl Expr Layout List Locality Mlc_cachesim Mlc_ir Mlc_kernels Pretty Program Subscript

@@ -1,0 +1,1 @@
+test/test_miss_predict.ml: Alcotest Build Interp Layout List Locality Mlc_analysis Mlc_cachesim Mlc_ir Mlc_kernels Printf Program

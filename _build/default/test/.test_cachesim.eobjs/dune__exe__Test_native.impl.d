@@ -1,0 +1,1 @@
+test/test_native.ml: Alcotest Array List Mlc_native Printf QCheck QCheck_alcotest

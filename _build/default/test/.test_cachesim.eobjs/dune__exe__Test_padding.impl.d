@@ -1,0 +1,1 @@
+test/test_padding.ml: Alcotest Array_decl Layout List Locality Mlc_analysis Mlc_cachesim Mlc_ir Mlc_kernels QCheck QCheck_alcotest

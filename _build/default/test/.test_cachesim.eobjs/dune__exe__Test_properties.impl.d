@@ -1,0 +1,1 @@
+test/test_properties.ml: Alcotest Array Array_decl Build Expr Gen Interp Layout List Locality Mlc_analysis Mlc_cachesim Mlc_ir Mlc_kernels Nest Printf Program QCheck QCheck_alcotest Ref_

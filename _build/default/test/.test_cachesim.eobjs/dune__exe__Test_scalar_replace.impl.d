@@ -1,0 +1,1 @@
+test/test_scalar_replace.ml: Alcotest Build Interp List Locality Loop Mlc_cachesim Mlc_ir Mlc_kernels Nest Printf Program Ref_

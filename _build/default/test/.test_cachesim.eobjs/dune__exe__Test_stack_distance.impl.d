@@ -1,0 +1,1 @@
+test/test_stack_distance.ml: Alcotest Array Gen List Mlc_cachesim Mlc_ir Mlc_kernels QCheck QCheck_alcotest

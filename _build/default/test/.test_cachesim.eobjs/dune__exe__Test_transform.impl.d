@@ -1,0 +1,1 @@
+test/test_transform.ml: Alcotest Array Build Expr Interp Layout List Locality Mlc_analysis Mlc_cachesim Mlc_ir Mlc_kernels Nest Printf Program QCheck QCheck_alcotest String Validate

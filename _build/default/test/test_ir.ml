@@ -1,0 +1,326 @@
+(* Tests for the loop-nest IR: expressions, layout/addressing, loops,
+   interpretation (fast path vs naive trace), validation. *)
+
+open Mlc_ir
+module Cs = Mlc_cachesim
+
+let check_int = Alcotest.(check int)
+
+let check_bool = Alcotest.(check bool)
+
+(* --- Expr -------------------------------------------------------------- *)
+
+let test_expr_algebra () =
+  let e = Expr.add (Expr.term 2 "i") (Expr.add (Expr.var "j") (Expr.const 3)) in
+  check_int "coeff i" 2 (Expr.coeff e "i");
+  check_int "coeff j" 1 (Expr.coeff e "j");
+  check_int "coeff k" 0 (Expr.coeff e "k");
+  check_int "const" 3 (Expr.const_part e);
+  Alcotest.(check (list string)) "vars" [ "i"; "j" ] (Expr.vars e);
+  let e2 = Expr.sub e (Expr.term 2 "i") in
+  check_bool "cancelled" false (List.mem "i" (Expr.vars e2));
+  check_int "eval" 13 (Expr.eval (function "i" -> 2 | "j" -> 6 | _ -> 0) e)
+
+let test_expr_subst_shift () =
+  let e = Expr.add (Expr.term 3 "i") (Expr.const 1) in
+  let shifted = Expr.shift "i" (-2) e in
+  (* 3*(i-2) + 1 = 3i - 5 *)
+  check_int "coeff" 3 (Expr.coeff shifted "i");
+  check_int "const" (-5) (Expr.const_part shifted);
+  let renamed = Expr.rename (fun v -> if v = "i" then "k" else v) e in
+  check_int "renamed coeff" 3 (Expr.coeff renamed "k");
+  check_int "old gone" 0 (Expr.coeff renamed "i")
+
+let test_expr_equal_normal_form () =
+  let a = Expr.add (Expr.var "i") (Expr.var "j") in
+  let b = Expr.add (Expr.var "j") (Expr.var "i") in
+  check_bool "commutative normal form" true (Expr.equal a b)
+
+(* --- Array_decl & Layout ----------------------------------------------- *)
+
+let test_dim_strides () =
+  let a = Array_decl.make "A" [ 4; 5; 6 ] in
+  Alcotest.(check (list int)) "strides" [ 1; 4; 20 ] (Array_decl.dim_strides a);
+  check_int "elements" 120 (Array_decl.elements a);
+  check_int "bytes" 960 (Array_decl.size_bytes a);
+  check_int "column bytes" 32 (Array_decl.column_bytes a)
+
+let test_layout_packed () =
+  let a = Array_decl.make "A" [ 10 ] and b = Array_decl.make "B" [ 10 ] in
+  let l = Layout.of_arrays [ a; b ] in
+  check_int "A base" 0 (Layout.base l "A");
+  check_int "B base" 80 (Layout.base l "B");
+  check_int "total" 160 (Layout.total_bytes l)
+
+let test_layout_pads () =
+  let a = Array_decl.make "A" [ 10 ] and b = Array_decl.make "B" [ 10 ] in
+  let l = Layout.of_arrays [ a; b ] in
+  let l = Layout.set_pad_before l "B" 32 in
+  check_int "B shifted" 112 (Layout.base l "B");
+  let l = Layout.add_pad_before l "B" 32 in
+  check_int "B shifted more" 144 (Layout.base l "B");
+  check_int "pad recorded" 64 (Layout.pad_before l "B");
+  (* pad before A shifts everything *)
+  let l = Layout.set_pad_before l "A" 8 in
+  check_int "A shifted" 8 (Layout.base l "A");
+  check_int "B shifted too" 152 (Layout.base l "B")
+
+let test_layout_intra_pad () =
+  let a = Array_decl.make "A" [ 4; 3 ] in
+  let l = Layout.of_arrays [ a ] in
+  check_int "addr (1,2) packed" ((1 + (4 * 2)) * 8) (Layout.address l "A" [ 1; 2 ]);
+  let l = Layout.set_intra_pad l "A" 1 in
+  (* columns now 5 long *)
+  check_int "addr (1,2) padded" ((1 + (5 * 2)) * 8) (Layout.address l "A" [ 1; 2 ]);
+  check_int "size grows" (5 * 3 * 8) (Layout.total_bytes l)
+
+let test_layout_address_expr () =
+  let a = Array_decl.make "A" [ 8; 8 ] in
+  let l = Layout.of_arrays [ a ] in
+  let r = Ref_.read_a "A" [ Expr.var "i"; Expr.add (Expr.var "j") (Expr.const 1) ] in
+  let addr = Layout.address_expr l r in
+  (* base 0 + 8*(i + 8*(j+1)) = 8i + 64j + 64 *)
+  check_int "i stride" 8 (Expr.coeff addr "i");
+  check_int "j stride" 64 (Expr.coeff addr "j");
+  check_int "const" 64 (Expr.const_part addr)
+
+let test_layout_alignment () =
+  let a = Array_decl.make "A" [ 3 ] and b = Array_decl.make "B" [ 3 ] in
+  let l = Layout.of_arrays [ a; b ] in
+  let l = Layout.set_pad_before l "B" 3 in
+  (* 24 + 3 = 27, aligned up to 32 *)
+  check_int "aligned" 32 (Layout.base l "B")
+
+(* --- Loop -------------------------------------------------------------- *)
+
+let env_empty v = invalid_arg ("unbound " ^ v)
+
+let collect loop env =
+  let out = ref [] in
+  Loop.iter env loop (fun iv -> out := iv :: !out);
+  List.rev !out
+
+let test_loop_basic () =
+  Alcotest.(check (list int)) "0..3" [ 0; 1; 2; 3 ] (collect (Loop.range "i" 0 3) env_empty);
+  check_int "trip" 4 (Loop.trip_count env_empty (Loop.range "i" 0 3));
+  Alcotest.(check (list int)) "empty" [] (collect (Loop.range "i" 3 0) env_empty)
+
+let test_loop_step () =
+  let l = Loop.make ~step:3 "i" ~lo:(Expr.const 0) ~hi:(Expr.const 10) in
+  Alcotest.(check (list int)) "step 3" [ 0; 3; 6; 9 ] (collect l env_empty);
+  check_int "trip" 4 (Loop.trip_count env_empty l)
+
+let test_loop_negative_step () =
+  let l = Loop.make ~step:(-2) "i" ~lo:(Expr.const 9) ~hi:(Expr.const 2) in
+  Alcotest.(check (list int)) "down" [ 9; 7; 5; 3 ] (collect l env_empty);
+  check_int "trip" 4 (Loop.trip_count env_empty l)
+
+let test_loop_clamp () =
+  let l =
+    Loop.make "i" ~lo:(Expr.const 4) ~hi:(Expr.const 9) ~hi_min:(Expr.const 6)
+  in
+  Alcotest.(check (list int)) "clamped" [ 4; 5; 6 ] (collect l env_empty)
+
+(* --- Nest / Program ---------------------------------------------------- *)
+
+let test_nest_iterations_triangular () =
+  let nest =
+    Nest.make
+      [
+        Loop.range "k" 0 3;
+        Loop.make "i" ~lo:(Expr.add (Expr.var "k") (Expr.const 1)) ~hi:(Expr.const 3);
+      ]
+      [ Stmt.make [ Ref_.read_a "A" [ Expr.var "i" ] ] ]
+  in
+  (* k=0: i=1..3 (3); k=1: 2; k=2: 1; k=3: 0 *)
+  check_int "triangular iterations" 6 (Nest.iterations nest)
+
+let test_program_counts () =
+  let a = Array_decl.make "A" [ 10 ] in
+  let nest =
+    Nest.make [ Loop.range "i" 0 9 ]
+      [ Stmt.make ~flops:2 [ Ref_.read_a "A" [ Expr.var "i" ] ] ]
+  in
+  let p = Program.make ~time_steps:3 "p" [ a ] [ nest ] in
+  check_int "refs" 30 (Program.ref_count p);
+  check_int "flops" 60 (Program.flop_count p)
+
+let test_program_duplicate_array () =
+  let a = Array_decl.make "A" [ 10 ] in
+  match Program.make "p" [ a; a ] [] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected rejection of duplicate array"
+
+(* --- Validate ----------------------------------------------------------- *)
+
+let test_validate_catches () =
+  let a = Array_decl.make "A" [ 10 ] in
+  let bad_arity =
+    Program.make "bad" [ a ]
+      [
+        Nest.make [ Loop.range "i" 0 9 ]
+          [ Stmt.make [ Ref_.read_a "A" [ Expr.var "i"; Expr.var "i" ] ] ];
+      ]
+  in
+  check_bool "arity" true (Validate.check bad_arity <> []);
+  let unbound =
+    Program.make "unbound" [ a ]
+      [ Nest.make [ Loop.range "i" 0 9 ] [ Stmt.make [ Ref_.read_a "A" [ Expr.var "z" ] ] ] ]
+  in
+  check_bool "unbound var" true (Validate.check unbound <> []);
+  let oob =
+    Program.make "oob" [ a ]
+      [ Nest.make [ Loop.range "i" 0 10 ] [ Stmt.make [ Ref_.read_a "A" [ Expr.var "i" ] ] ] ]
+  in
+  check_bool "out of bounds" true (Validate.check oob <> []);
+  let ok =
+    Program.make "ok" [ a ]
+      [ Nest.make [ Loop.range "i" 0 9 ] [ Stmt.make [ Ref_.read_a "A" [ Expr.var "i" ] ] ] ]
+  in
+  Alcotest.(check (list string)) "clean" []
+    (List.map (Format.asprintf "%a" Validate.pp_issue) (Validate.check ok))
+
+(* --- Interp ------------------------------------------------------------- *)
+
+let small_machine =
+  {
+    Cs.Machine.name = "test";
+    geometries = [ { Cs.Level.size = 256; line = 32; assoc = 1 } ];
+    cost = { Cs.Cost_model.hit_cycles = [| 1.0 |]; memory_cycles = 10.0; clock_hz = 1e6 };
+  }
+
+let test_interp_counts () =
+  let a = Array_decl.make "A" [ 64 ] in
+  let p =
+    Program.make "p" [ a ]
+      [
+        Nest.make [ Loop.range "i" 0 63 ]
+          [ Stmt.make ~flops:1 [ Ref_.read_a "A" [ Expr.var "i" ] ] ];
+      ]
+  in
+  let layout = Layout.initial p in
+  let result = Interp.run small_machine layout p in
+  check_int "refs" 64 result.Interp.total_refs;
+  check_int "flops" 64 result.Interp.flops;
+  (* 64 doubles = 512 bytes = 16 lines; cache 256B, so every line is a
+     cold miss: 16 misses *)
+  Alcotest.(check (list int)) "misses" [ 16 ] result.Interp.misses
+
+let test_interp_trace_order () =
+  let a = Array_decl.make "A" [ 4; 4 ] in
+  let p =
+    Program.make "p" [ a ]
+      [
+        Nest.make [ Loop.range "j" 0 1; Loop.range "i" 0 1 ]
+          [ Stmt.make [ Ref_.read_a "A" [ Expr.var "i"; Expr.var "j" ] ] ];
+      ]
+  in
+  let layout = Layout.initial p in
+  let trace = Interp.trace layout p in
+  (* column-major: (i,j) at (i + 4j)*8 *)
+  Alcotest.(check (array int)) "trace" [| 0; 8; 32; 40 |] trace
+
+let test_interp_gather () =
+  let x = Array_decl.make "X" [ 8 ] in
+  let table = [| 3; 1; 3; 0 |] in
+  let p =
+    Program.make "p" [ x ]
+      [
+        Nest.make [ Loop.range "i" 0 3 ]
+          [ Stmt.make [ Ref_.read "X" [ Subscript.gather ~table ~index:(Expr.var "i") ] ] ];
+      ]
+  in
+  let layout = Layout.initial p in
+  Alcotest.(check (array int)) "gather trace" [| 24; 8; 24; 0 |] (Interp.trace layout p)
+
+(* Property: the fast interpreter and the naive trace agree on miss counts
+   for random small programs. *)
+let random_program =
+  let open QCheck.Gen in
+  let* n1 = int_range 2 6 in
+  let* n2 = int_range 2 6 in
+  let* off1 = int_range 0 1 in
+  let* off2 = int_range 0 1 in
+  let a = Array_decl.make "A" [ n1 + 2; n2 + 2 ] in
+  let b = Array_decl.make "B" [ n1 + 2; n2 + 2 ] in
+  let i = Expr.var "i" and j = Expr.var "j" in
+  let refs =
+    [
+      Ref_.read_a "A" [ Expr.add i (Expr.const off1); j ];
+      Ref_.read_a "B" [ i; Expr.add j (Expr.const off2) ];
+      Ref_.write_a "A" [ i; j ];
+    ]
+  in
+  let nest = Nest.make [ Loop.range "j" 0 (n2 - 1); Loop.range "i" 0 (n1 - 1) ] [ Stmt.make refs ] in
+  return (Program.make "rand" [ a; b ] [ nest ])
+
+let prop_fast_interp_matches_trace =
+  QCheck.Test.make ~name:"fast interp = naive trace (miss counts)" ~count:100
+    (QCheck.make random_program)
+    (fun p ->
+      let layout = Layout.initial p in
+      (* replay naive trace *)
+      let h1 = Cs.Machine.hierarchy small_machine in
+      Cs.Trace.replay h1 (Interp.trace layout p);
+      (* fast path *)
+      let h2 = Cs.Machine.hierarchy small_machine in
+      ignore (Interp.feed h2 layout p);
+      Cs.Hierarchy.miss_rates h1 = Cs.Hierarchy.miss_rates h2
+      && Cs.Hierarchy.total_refs h1 = Cs.Hierarchy.total_refs h2)
+
+let prop_pad_shifts_addresses =
+  QCheck.Test.make ~name:"pad_before shifts all later bases equally" ~count:100
+    QCheck.(pair (int_range 0 512) (int_range 0 512))
+    (fun (p1, p2) ->
+      let a = Array_decl.make "A" [ 16 ] in
+      let b = Array_decl.make "B" [ 16 ] in
+      let c = Array_decl.make "C" [ 16 ] in
+      let l = Layout.of_arrays [ a; b; c ] in
+      let l' = Layout.set_pad_before l "B" (p1 * 8) in
+      let l'' = Layout.set_pad_before l' "C" (p2 * 8) in
+      Layout.base l'' "B" - Layout.base l "B" = p1 * 8
+      && Layout.base l'' "C" - Layout.base l "C" = (p1 + p2) * 8
+      && Layout.base l'' "A" = Layout.base l "A")
+
+let () =
+  Alcotest.run "ir"
+    [
+      ( "expr",
+        [
+          Alcotest.test_case "algebra" `Quick test_expr_algebra;
+          Alcotest.test_case "subst/shift/rename" `Quick test_expr_subst_shift;
+          Alcotest.test_case "normal form" `Quick test_expr_equal_normal_form;
+        ] );
+      ( "layout",
+        [
+          Alcotest.test_case "dim strides" `Quick test_dim_strides;
+          Alcotest.test_case "packed" `Quick test_layout_packed;
+          Alcotest.test_case "pads" `Quick test_layout_pads;
+          Alcotest.test_case "intra pad" `Quick test_layout_intra_pad;
+          Alcotest.test_case "address expr" `Quick test_layout_address_expr;
+          Alcotest.test_case "alignment" `Quick test_layout_alignment;
+        ] );
+      ( "loop",
+        [
+          Alcotest.test_case "basic" `Quick test_loop_basic;
+          Alcotest.test_case "step" `Quick test_loop_step;
+          Alcotest.test_case "negative step" `Quick test_loop_negative_step;
+          Alcotest.test_case "clamp" `Quick test_loop_clamp;
+        ] );
+      ( "nest",
+        [
+          Alcotest.test_case "triangular iterations" `Quick test_nest_iterations_triangular;
+          Alcotest.test_case "program counts" `Quick test_program_counts;
+          Alcotest.test_case "duplicate array" `Quick test_program_duplicate_array;
+        ] );
+      ("validate", [ Alcotest.test_case "catches issues" `Quick test_validate_catches ]);
+      ( "interp",
+        [
+          Alcotest.test_case "counts" `Quick test_interp_counts;
+          Alcotest.test_case "trace order" `Quick test_interp_trace_order;
+          Alcotest.test_case "gather" `Quick test_interp_gather;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_fast_interp_matches_trace; prop_pad_shifts_addresses ] );
+    ]

@@ -1,0 +1,89 @@
+(* The analytical miss predictor is validated the way it is used: it must
+   rank layouts and program versions the way the simulator does, and land
+   within a coarse factor of the simulated counts. *)
+
+open Mlc_ir
+module Cs = Mlc_cachesim
+module An = Mlc_analysis
+module K = Mlc_kernels
+module L = Locality
+
+let machine = Cs.Machine.ultrasparc
+
+let check_bool = Alcotest.(check bool)
+
+let simulated_l1_misses layout p =
+  let r = Interp.run machine layout p in
+  float_of_int (List.hd r.Interp.misses)
+
+let predicted_l1_misses layout p =
+  List.hd (An.Miss_predict.program_misses layout machine p)
+
+let test_ranks_padded_vs_packed () =
+  List.iter
+    (fun p ->
+      let packed = Layout.initial p in
+      let padded = L.Pipeline.layout_for machine L.Pipeline.Pad_l1 p in
+      let pred_packed = predicted_l1_misses packed p in
+      let pred_padded = predicted_l1_misses padded p in
+      let sim_packed = simulated_l1_misses packed p in
+      let sim_padded = simulated_l1_misses padded p in
+      (* the simulator says padding helps; the predictor must agree *)
+      check_bool (p.Program.name ^ ": simulator prefers padded") true
+        (sim_padded < sim_packed);
+      check_bool (p.Program.name ^ ": predictor prefers padded") true
+        (pred_padded < pred_packed))
+    [ K.Paper_examples.figure2 256; K.Livermore.jacobi 256; K.Livermore.expl 128 ]
+
+let test_within_coarse_factor () =
+  List.iter
+    (fun (label, p, layout) ->
+      let pred = predicted_l1_misses layout p in
+      let sim = simulated_l1_misses layout p in
+      let ratio = if sim = 0.0 then 1.0 else pred /. sim in
+      check_bool
+        (Printf.sprintf "%s: prediction %.0f vs simulation %.0f (ratio %.2f)"
+           label pred sim ratio)
+        true
+        (ratio > 0.2 && ratio < 5.0))
+    [
+      ("jacobi padded", K.Livermore.jacobi 256,
+       L.Pipeline.layout_for machine L.Pipeline.Pad_l1 (K.Livermore.jacobi 256));
+      ("expl padded", K.Livermore.expl 128,
+       L.Pipeline.layout_for machine L.Pipeline.Pad_l1 (K.Livermore.expl 128));
+      ("dot", K.Livermore.dot 100_000, Layout.initial (K.Livermore.dot 100_000));
+    ]
+
+let test_small_footprint_cold_only () =
+  (* a nest whose data fits in L1 predicts only cold misses *)
+  let open Build in
+  let a = arr "A" [ 128 ] in
+  let i = v "i" in
+  let p =
+    program "tiny" [ a ]
+      [ nest [ loop "t" 0 9; loop "i" 0 127 ] [ asn (w "A" [ i ]) [ r "A" [ i ] ] ] ]
+  in
+  let layout = Layout.initial p in
+  let pred = predicted_l1_misses layout p in
+  (* 128 doubles = 1024 bytes = 32 lines *)
+  Alcotest.(check (float 0.01)) "cold lines" 32.0 pred
+
+let test_l2_prediction_ordering () =
+  (* on the L2 the same ordering must hold for the multi-level pass *)
+  let p = K.Paper_examples.figure2 256 in
+  let packed = Layout.initial p in
+  let padded = L.Pipeline.layout_for machine L.Pipeline.Pad_multilevel p in
+  let l2 layout = List.nth (An.Miss_predict.program_misses layout machine p) 1 in
+  check_bool "L2 prediction prefers MULTILVLPAD" true (l2 padded <= l2 packed)
+
+let () =
+  Alcotest.run "miss_predict"
+    [
+      ( "predictor",
+        [
+          Alcotest.test_case "ranks padded vs packed" `Quick test_ranks_padded_vs_packed;
+          Alcotest.test_case "coarse factor" `Quick test_within_coarse_factor;
+          Alcotest.test_case "small footprint" `Quick test_small_footprint_cold_only;
+          Alcotest.test_case "L2 ordering" `Quick test_l2_prediction_ordering;
+        ] );
+    ]

@@ -1,0 +1,361 @@
+(* Tests for the loop transformations: permutation, reversal,
+   strip-mining, tiling (+ tile-size selection), and fusion. *)
+
+open Mlc_ir
+module An = Mlc_analysis
+module K = Mlc_kernels
+module L = Locality
+
+let check_int = Alcotest.(check int)
+
+let check_bool = Alcotest.(check bool)
+
+let sorted_trace layout p =
+  let t = Interp.trace layout p in
+  Array.sort compare t;
+  t
+
+(* --- Permute ------------------------------------------------------------ *)
+
+let test_permute_figure1 () =
+  let p = K.Paper_examples.figure1 ~n:8 ~m:8 in
+  let nest = List.hd p.Program.nests in
+  let permuted = L.Permute.apply nest [ "i"; "j" ] in
+  Alcotest.(check (list string)) "order" [ "i"; "j" ] (Nest.vars permuted);
+  (* same multiset of addresses *)
+  let layout = Layout.initial p in
+  let p' = Program.set_nest p 0 permuted in
+  Alcotest.(check (array int)) "same accesses"
+    (sorted_trace layout p) (sorted_trace layout p')
+
+let test_permute_rejects_non_permutation () =
+  let p = K.Paper_examples.figure1 ~n:8 ~m:8 in
+  let nest = List.hd p.Program.nests in
+  (match L.Permute.apply nest [ "i"; "i" ] with
+  | exception L.Permute.Illegal _ -> ()
+  | _ -> Alcotest.fail "expected Illegal");
+  match L.Permute.apply nest [ "i" ] with
+  | exception L.Permute.Illegal _ -> ()
+  | _ -> Alcotest.fail "expected Illegal"
+
+let test_permute_rejects_dependence_violation () =
+  let open Build in
+  let a = arr "A" [ 8; 8 ] in
+  let i = v "i" and j = v "j" in
+  let nest_skewed =
+    nest [ loop "i" 1 7; loop "j" 0 6 ]
+      [ asn (w "A" [ i; j ]) [ r "A" [ i -! 1; j +! 1 ] ] ]
+  in
+  let p = program "skew" [ a ] [ nest_skewed ] in
+  ignore p;
+  match L.Permute.apply nest_skewed [ "j"; "i" ] with
+  | exception L.Permute.Illegal _ -> ()
+  | _ -> Alcotest.fail "expected Illegal"
+
+let test_permute_optimize_picks_unit_stride () =
+  let p = K.Paper_examples.figure1 ~n:64 ~m:64 in
+  let layout = Layout.initial p in
+  let nest = List.hd p.Program.nests in
+  let best = L.Permute.optimize layout ~line:32 nest in
+  Alcotest.(check (list string)) "j innermost" [ "i"; "j" ] (Nest.vars best)
+
+(* --- Reverse ------------------------------------------------------------ *)
+
+let test_reverse_roundtrip () =
+  let open Build in
+  let a = arr "A" [ 16 ] in
+  let i = v "i" in
+  let n1 = nest [ loop "i" 0 15 ] [ asn (w "A" [ i ]) [ r "A" [ i ] ] ] in
+  let p = program "rev" [ a ] [ n1 ] in
+  let layout = Layout.initial p in
+  let reversed = L.Reverse.apply n1 "i" in
+  let p' = Program.set_nest p 0 reversed in
+  let t = Interp.trace layout p and t' = Interp.trace layout p' in
+  check_int "same length" (Array.length t) (Array.length t');
+  Alcotest.(check (array int)) "reversed order"
+    (Array.of_list (List.rev (Array.to_list t)))
+    t'
+
+let test_reverse_rejects_carried_dep () =
+  let open Build in
+  let _a = arr "A" [ 16 ] in
+  let i = v "i" in
+  let n1 =
+    nest [ loop "i" 1 15 ] [ asn (w "A" [ i ]) [ r "A" [ i -! 1 ] ] ]
+  in
+  match L.Reverse.apply n1 "i" with
+  | exception L.Reverse.Illegal _ -> ()
+  | _ -> Alcotest.fail "expected Illegal"
+
+(* --- Strip-mine / Tiling -------------------------------------------------- *)
+
+let test_strip_mine_exact_cover () =
+  let open Build in
+  let a = arr "A" [ 20 ] in
+  let i = v "i" in
+  let n1 = nest [ loop "i" 0 19 ] [ asn (w "A" [ i ]) [ r "A" [ i ] ] ] in
+  let p = program "sm" [ a ] [ n1 ] in
+  let layout = Layout.initial p in
+  (* width 7 does not divide 20: the clamp matters *)
+  let stripped = L.Strip_mine.apply n1 ~var:"i" ~width:7 ~strip_var:"ii" in
+  let p' = Program.set_nest p 0 stripped in
+  Alcotest.(check (array int)) "identical access sequence"
+    (Interp.trace layout p) (Interp.trace layout p')
+
+let prop_tiling_preserves_accesses =
+  QCheck.Test.make ~name:"tiled matmul touches the same multiset of addresses"
+    ~count:25
+    QCheck.(triple (int_range 4 10) (int_range 1 5) (int_range 1 5))
+    (fun (n, h, w) ->
+      let orig = L.Tiling.matmul n in
+      let tiled = L.Tiling.tiled_matmul ~n ~h ~w in
+      let layout = Layout.initial orig in
+      sorted_trace layout orig = sorted_trace layout tiled)
+
+let test_tiled_matmul_shape () =
+  let tiled = L.Tiling.tiled_matmul ~n:16 ~h:4 ~w:2 in
+  let nest = List.hd tiled.Program.nests in
+  Alcotest.(check (list string)) "figure 8 loop order"
+    [ "KK"; "II"; "J"; "K"; "I" ] (Nest.vars nest);
+  check_int "same flops as untiled" (Program.flop_count (L.Tiling.matmul 16))
+    (Program.flop_count tiled)
+
+(* --- Tile size selection --------------------------------------------------- *)
+
+let test_euclid_chain () =
+  (* gcd-style remainder chain *)
+  Alcotest.(check (list int)) "chain" [ 100; 30; 10 ]
+    (L.Tile_size.euclid_chain ~cache_elems:100 ~col_elems:330);
+  Alcotest.(check (list int)) "aligned column" [ 128 ]
+    (L.Tile_size.euclid_chain ~cache_elems:128 ~col_elems:256)
+
+let test_conflict_free_width () =
+  (* cache 64 elems, columns of 48: positions 0,48,32,16 -> with height 16
+     all 4 columns tile the cache exactly *)
+  check_int "width at h=16" 4
+    (L.Tile_size.max_conflict_free_width ~cache_elems:64 ~col_elems:48 ~height:16
+       ~max_width:8);
+  (* height 17 cannot even fit two columns *)
+  check_int "width at h=17" 1
+    (L.Tile_size.max_conflict_free_width ~cache_elems:64 ~col_elems:48 ~height:17
+       ~max_width:8)
+
+let prop_selected_tiles_conflict_free =
+  QCheck.Test.make ~name:"selected tiles have no self-interference" ~count:200
+    QCheck.(pair (int_range 65 2000) (int_range 1 4))
+    (fun (col, k) ->
+      let cache_bytes = 16 * 1024 * k in
+      let tile =
+        L.Tile_size.select ~cache_bytes ~elem:8 ~col_elems:col ~rows:col ()
+      in
+      let cache_elems = cache_bytes / 8 in
+      tile.L.Tile_size.height >= 1 && tile.L.Tile_size.width >= 1
+      && L.Tile_size.max_conflict_free_width ~cache_elems ~col_elems:col
+           ~height:tile.L.Tile_size.height ~max_width:tile.L.Tile_size.width
+         >= tile.L.Tile_size.width)
+
+let test_alternative_tile_algorithms () =
+  let elem = 8 and cache = 16 * 1024 in
+  List.iter
+    (fun n ->
+      let cache_elems = cache / elem in
+      let check_tile label (t : L.Tile_size.tile) =
+        check_bool
+          (Printf.sprintf "%s %dx%d at n=%d conflict-free" label
+             t.L.Tile_size.height t.L.Tile_size.width n)
+          true
+          (t.L.Tile_size.height >= 1 && t.L.Tile_size.width >= 1
+          && L.Tile_size.max_conflict_free_width ~cache_elems ~col_elems:n
+               ~height:t.L.Tile_size.height ~max_width:t.L.Tile_size.width
+             >= t.L.Tile_size.width
+          && L.Tile_size.footprint_bytes ~elem t <= cache)
+      in
+      let lrw = L.Tile_size.lrw ~cache_bytes:cache ~elem ~col_elems:n ~rows:n in
+      let tss = L.Tile_size.tss ~cache_bytes:cache ~elem ~col_elems:n ~rows:n in
+      check_tile "LRW" lrw;
+      check_tile "TSS" tss;
+      check_bool "LRW is square" true
+        (lrw.L.Tile_size.height = lrw.L.Tile_size.width);
+      (* TSS maximizes area: at least as big as the square *)
+      check_bool "TSS area >= LRW area" true
+        (tss.L.Tile_size.height * tss.L.Tile_size.width
+        >= lrw.L.Tile_size.height * lrw.L.Tile_size.width))
+    [ 100; 200; 300; 301; 400; 511 ]
+
+let test_assoc_aware_pad () =
+  let p = K.Paper_examples.figure2 256 in
+  let layout = Layout.initial p in
+  (* with assoc 1 it behaves like PAD: no set holds >= 1 foreign ref *)
+  let a1 = L.Pad.apply_assoc ~size:(16 * 1024) ~line:32 ~assoc:1 p layout in
+  check_int "assoc-1 leaves no severe conflicts" 0
+    (List.length (L.Pad.remaining_conflicts ~size:(16 * 1024) ~line:32 p a1));
+  (* higher associativity demands less padding *)
+  let a2 = L.Pad.apply_assoc ~size:(16 * 1024) ~line:32 ~assoc:2 p layout in
+  let total_pad l =
+    List.fold_left (fun acc v -> acc + Layout.pad_before l v) 0 (Layout.array_names l)
+  in
+  check_bool "2-way needs no more padding than 1-way" true
+    (total_pad a2 <= total_pad a1)
+
+let prop_l1_clean_implies_l2_clean =
+  (* the paper's Section 5 modular-arithmetic claim *)
+  QCheck.Test.make ~name:"no L1 self-interference implies none on k*S1" ~count:200
+    QCheck.(pair (int_range 65 4000) (int_range 2 32))
+    (fun (col, k) ->
+      let s1_elems = 2048 in
+      let tile =
+        L.Tile_size.select ~cache_bytes:(s1_elems * 8) ~elem:8 ~col_elems:col
+          ~rows:col ()
+      in
+      L.Tile_size.no_l2_interference ~s1_elems ~k ~col_elems:col tile)
+
+(* --- Fusion ------------------------------------------------------------------ *)
+
+let test_fuse_figure2_matches_figure6 () =
+  let fig2 = K.Paper_examples.figure2 64 in
+  let fig6 = K.Paper_examples.figure6_fused 64 in
+  match fig2.Program.nests with
+  | [ n1; n2 ] ->
+      (match L.Fusion.fuse ~shift:0 n1 n2 with
+      | [ core ] ->
+          let fused_p = { fig2 with Program.nests = [ core ] } in
+          let layout = Layout.initial fig2 in
+          Alcotest.(check (array int)) "same trace as figure 6"
+            (Interp.trace layout fig6) (Interp.trace layout fused_p)
+      | _ -> Alcotest.fail "expected a single fused nest")
+  | _ -> Alcotest.fail "figure2 must have two nests"
+
+let test_fuse_with_shift_peels () =
+  let open Build in
+  let n = 16 in
+  let wa = arr "W" [ n; n ] and x = arr "X" [ n; n ] and y = arr "Y" [ n; n ] in
+  let i = v "i" and j = v "j" in
+  (* nest2 reads W(i,j+1): needs shift 1 *)
+  let n1 =
+    nest [ loop "j" 1 (n - 3); loop "i" 0 (n - 1) ]
+      [ asn (w "W" [ i; j ]) [ r "X" [ i; j ] ] ]
+  in
+  let n2 =
+    nest [ loop "j" 1 (n - 3); loop "i" 0 (n - 1) ]
+      [ asn (w "Y" [ i; j ]) [ r "W" [ i; j +! 1 ] ] ]
+  in
+  let p = program "shifted" [ wa; x; y ] [ n1; n2 ] in
+  let layout = Layout.initial p in
+  check_bool "shift 0 illegal" false (An.Dependence.fusion_legal ~shift:0 n1 n2);
+  let parts = L.Fusion.fuse ~shift:1 n1 n2 in
+  check_int "prologue + core + epilogue" 3 (List.length parts);
+  let p' = { p with Program.nests = parts } in
+  (* every original address count is preserved *)
+  Alcotest.(check (array int)) "same multiset of accesses"
+    (sorted_trace layout p) (sorted_trace layout p');
+  (* and the write of W(i,j+1) now precedes its read in program order *)
+  check_bool "fused program validates" true (Validate.check p' = [])
+
+let test_fuse_program_auto_shift () =
+  let open Build in
+  let n = 12 in
+  let wa = arr "W" [ n; n ] and x = arr "X" [ n; n ] and y = arr "Y" [ n; n ] in
+  let i = v "i" and j = v "j" in
+  let n1 =
+    nest [ loop "j" 1 (n - 3); loop "i" 0 (n - 1) ]
+      [ asn (w "W" [ i; j ]) [ r "X" [ i; j ] ] ]
+  in
+  let n2 =
+    nest [ loop "j" 1 (n - 3); loop "i" 0 (n - 1) ]
+      [ asn (w "Y" [ i; j ]) [ r "W" [ i; j +! 1 ] ] ]
+  in
+  let p = program "auto" [ wa; x; y ] [ n1; n2 ] in
+  let fused = L.Fusion.fuse_program p 0 in
+  let layout = Layout.initial p in
+  Alcotest.(check (array int)) "accesses preserved"
+    (sorted_trace layout p) (sorted_trace layout fused)
+
+let test_fusion_auto_optimizer () =
+  let machine = Mlc_cachesim.Machine.ultrasparc in
+  (* Figure 2 fuses profitably (the Section 4 example) *)
+  let fig2 = K.Paper_examples.figure2 960 in
+  let fused, log = L.Fusion.optimize_program machine fig2 in
+  check_int "figure 2 collapses to one nest" 1 (List.length fused.Program.nests);
+  check_bool "log mentions the fusion" true
+    (List.exists
+       (fun l ->
+         String.length l >= 5
+         && List.exists
+              (fun i -> i + 5 <= String.length l && String.sub l i 5 = "fused")
+              (List.init (String.length l - 4) (fun i -> i)))
+       log);
+  (* two nests over unrelated arrays: legal but no reuse to gain, so the
+     optimizer leaves them alone *)
+  let open Build in
+  let a = arr "A" [ 64; 64 ] and b = arr "B" [ 64; 64 ] in
+  let i = v "i" and j = v "j" in
+  let mk name =
+    nest [ loop "j" 1 62; loop "i" 0 63 ]
+      [ asn (w name [ i; j ]) [ r name [ i; j -! 1 ] ] ]
+  in
+  let p = program "disjoint" [ a; b ] [ mk "A"; mk "B" ] in
+  let fused2, _ = L.Fusion.optimize_program machine p in
+  check_int "disjoint nests not fused" 2 (List.length fused2.Program.nests);
+  (* the fused figure 2 behaves identically to the hand-fused version *)
+  let layout = Layout.initial fig2 in
+  Alcotest.(check (array int)) "same accesses as figure 6"
+    (sorted_trace layout (K.Paper_examples.figure6_fused 960))
+    (sorted_trace layout fused)
+
+let test_fusion_rejects_impossible () =
+  let open Build in
+  let n = 8 in
+  let wa = arr "W" [ n ] in
+  let i = v "i" in
+  (* nest2 reads W(7 - i): no constant distance -> Unknown -> reject *)
+  let n1 = nest [ loop "i" 0 (n - 1) ] [ asn (w "W" [ i ]) [ r "W" [ i ] ] ] in
+  let n2 =
+    nest [ loop "i" 0 (n - 1) ]
+      [ asn (w "W" [ i ]) [ r "W" [ Expr.sub (c (n - 1)) i ] ] ]
+  in
+  ignore wa;
+  match L.Fusion.fuse ~shift:0 n1 n2 with
+  | exception L.Fusion.Illegal _ -> ()
+  | _ -> Alcotest.fail "expected Illegal"
+
+let () =
+  Alcotest.run "transform"
+    [
+      ( "permute",
+        [
+          Alcotest.test_case "figure 1" `Quick test_permute_figure1;
+          Alcotest.test_case "rejects non-permutation" `Quick test_permute_rejects_non_permutation;
+          Alcotest.test_case "rejects dependence violation" `Quick
+            test_permute_rejects_dependence_violation;
+          Alcotest.test_case "optimize picks unit stride" `Quick
+            test_permute_optimize_picks_unit_stride;
+        ] );
+      ( "reverse",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_reverse_roundtrip;
+          Alcotest.test_case "rejects carried dep" `Quick test_reverse_rejects_carried_dep;
+        ] );
+      ( "tiling",
+        [
+          Alcotest.test_case "strip-mine exact cover" `Quick test_strip_mine_exact_cover;
+          Alcotest.test_case "figure 8 shape" `Quick test_tiled_matmul_shape;
+          QCheck_alcotest.to_alcotest prop_tiling_preserves_accesses;
+        ] );
+      ( "tile_size",
+        [
+          Alcotest.test_case "euclid chain" `Quick test_euclid_chain;
+          Alcotest.test_case "conflict-free width" `Quick test_conflict_free_width;
+          Alcotest.test_case "LRW and TSS" `Quick test_alternative_tile_algorithms;
+          Alcotest.test_case "assoc-aware PAD" `Quick test_assoc_aware_pad;
+          QCheck_alcotest.to_alcotest prop_selected_tiles_conflict_free;
+          QCheck_alcotest.to_alcotest prop_l1_clean_implies_l2_clean;
+        ] );
+      ( "fusion",
+        [
+          Alcotest.test_case "figure 2 fuses to figure 6" `Quick test_fuse_figure2_matches_figure6;
+          Alcotest.test_case "shift + peel" `Quick test_fuse_with_shift_peels;
+          Alcotest.test_case "auto shift" `Quick test_fuse_program_auto_shift;
+          Alcotest.test_case "auto optimizer" `Quick test_fusion_auto_optimizer;
+          Alcotest.test_case "rejects impossible" `Quick test_fusion_rejects_impossible;
+        ] );
+    ]
