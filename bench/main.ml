@@ -5,6 +5,17 @@
      dune exec bench/main.exe -- figure9   -- one artifact
      dune exec bench/main.exe -- fast      -- reduced sweeps
 
+   Every simulation cell is submitted as a job to the parallel experiment
+   engine (lib/engine): jobs fan out over a domain pool and land in a
+   content-addressed result cache, so re-runs are nearly free and
+   `--jobs N` scales the sweep across cores.  Results are merged in
+   submission order, so stdout is byte-identical for any job count; all
+   timing and progress output goes to stderr.
+
+     --jobs N     worker domains (default: the machine's core count)
+     --no-cache   bypass the on-disk result cache
+     --cache-dir D  cache directory (default _mlc_cache, or MLC_CACHE_DIR)
+
    Sections:
      table1   - the program inventory (Table 1)
      figure9  - PAD vs MULTILVLPAD: miss rates + model-time improvements
@@ -13,9 +24,14 @@
      figure12 - change in L2/memory refs and miss rates from fusion (EXPL)
      figure13 - MFLOPS of tiled matrix multiply over matrix sizes
      predict  - analytical miss prediction vs the simulator
-     bechamel - real wall-clock timings of the native kernels
      ablation - extra studies (associativity, 3-level hierarchy,
                 Song-Li time tiling, write policy, footnote-1 prefetch)
+     bechamel - real wall-clock timings of the native kernels (opt-in:
+                run `bench/main.exe -- bechamel`; excluded from the
+                default set because measured times are nondeterministic)
+
+   A machine-readable record of the run (wall time per section, jobs/sec,
+   cache hit rate) is written to BENCH_engine.json.
 
    Simulated "execution time" uses the UltraSparc-flavoured cost model
    (see DESIGN.md): the paper's own conclusion — miss-rate wins rarely
@@ -26,10 +42,39 @@ module Cs = Mlc_cachesim
 module An = Mlc_analysis
 module K = Mlc_kernels
 module L = Locality
+module E = Mlc_engine
 
 let machine = Cs.Machine.ultrasparc
 
 let fast = ref false
+
+(* --- engine context ----------------------------------------------------- *)
+
+let jobs = ref (E.Pool.default_jobs ())
+
+let use_cache = ref true
+
+let cache_dir = ref None
+
+let cache = ref None
+
+let progress = ref None
+
+let submit specs =
+  E.Engine.run ?cache:!cache ?progress:!progress ~jobs:!jobs
+    (Array.of_list specs)
+
+(* Adapter: engine results into the reporting helpers' outcome type. *)
+let outcome label (r : E.Job.result) =
+  { L.Experiment.label; result = r.E.Job.interp }
+
+let mrate (r : E.Job.result) level =
+  L.Experiment.miss_rate_pct (outcome "" r) level
+
+let dtime ~baseline r =
+  L.Experiment.time_improvement ~baseline:(outcome "" baseline) (outcome "" r)
+
+let strategy s = E.Job.Strategy s
 
 (* ----------------------------------------------------------------- *)
 (* Table 1                                                            *)
@@ -58,50 +103,57 @@ let table1 () =
 (* Figure 9: PAD and MULTILVLPAD                                      *)
 (* ----------------------------------------------------------------- *)
 
-let fig9_programs () =
-  let shrink n = if !fast then max 64 (n / 4) else n in
-  let build name =
-    let e = K.Registry.find name in
-    match e.K.Registry.build_sized with
-    | Some f when !fast -> (
-        match name with
-        | "EXPL512" | "JACOBI512" | "SHAL512" | "HYDRO2D" | "SWIM" -> f (shrink 512)
-        | "ADI32" -> f 128
-        | "LINPACKD" -> f 128
-        | "IRR500K" -> f 100_000
-        | "BUK" | "EMBAR" -> f 250_000
-        | "CGM" -> f 20_000
-        | "FFTPDE" -> f 65_536
-        | _ -> e.K.Registry.build ())
-    | _ -> e.K.Registry.build ()
-  in
-  List.map
-    (fun (e : K.Registry.entry) -> (String.lowercase_ascii e.K.Registry.name, build e.K.Registry.name))
-    K.Registry.all
+let fig9_size name =
+  let shrink n = max 64 (n / 4) in
+  if not !fast then None
+  else
+    match name with
+    | "EXPL512" | "JACOBI512" | "SHAL512" | "HYDRO2D" | "SWIM" ->
+        Some (shrink 512)
+    | "ADI32" -> Some 128
+    | "LINPACKD" -> Some 128
+    | "IRR500K" -> Some 100_000
+    | "BUK" | "EMBAR" -> Some 250_000
+    | "CGM" -> Some 20_000
+    | "FFTPDE" -> Some 65_536
+    | _ -> None
 
 let figure9 () =
   let strategies =
     [ L.Pipeline.Original; L.Pipeline.Pad_l1; L.Pipeline.Pad_multilevel ]
   in
-  let rows =
+  let programs =
     List.map
-      (fun (name, p) ->
-        let outcomes = List.map (fun s -> L.Experiment.run_strategy machine s p) strategies in
-        match outcomes with
-        | [ orig; l1; both ] ->
-            [
-              name;
-              L.Report.pct (L.Experiment.miss_rate_pct orig 0);
-              L.Report.pct (L.Experiment.miss_rate_pct l1 0);
-              L.Report.pct (L.Experiment.miss_rate_pct both 0);
-              L.Report.pct (L.Experiment.miss_rate_pct orig 1);
-              L.Report.pct (L.Experiment.miss_rate_pct l1 1);
-              L.Report.pct (L.Experiment.miss_rate_pct both 1);
-              L.Report.pct (L.Experiment.time_improvement ~baseline:orig l1);
-              L.Report.pct (L.Experiment.time_improvement ~baseline:orig both);
-            ]
-        | _ -> assert false)
-      (fig9_programs ())
+      (fun (e : K.Registry.entry) ->
+        ( String.lowercase_ascii e.K.Registry.name,
+          E.Job.Registry { name = e.K.Registry.name; n = fig9_size e.K.Registry.name } ))
+      K.Registry.all
+  in
+  let results =
+    submit
+      (List.concat_map
+         (fun (_, p) ->
+           List.map (fun s -> E.Job.simulate ~layout:(strategy s) p) strategies)
+         programs)
+  in
+  let rows =
+    List.mapi
+      (fun i (name, _) ->
+        let orig = results.(3 * i)
+        and l1 = results.((3 * i) + 1)
+        and both = results.((3 * i) + 2) in
+        [
+          name;
+          L.Report.pct (mrate orig 0);
+          L.Report.pct (mrate l1 0);
+          L.Report.pct (mrate both 0);
+          L.Report.pct (mrate orig 1);
+          L.Report.pct (mrate l1 1);
+          L.Report.pct (mrate both 1);
+          L.Report.pct (dtime ~baseline:orig l1);
+          L.Report.pct (dtime ~baseline:orig both);
+        ])
+      programs
   in
   L.Report.table
     ~title:
@@ -128,33 +180,40 @@ let figure10 () =
   let size n = if !fast then max 64 (n / 4) else n in
   let programs =
     [
-      ("expl512", K.Livermore.expl (size 512));
-      ("jacobi512", K.Livermore.jacobi (size 512));
-      ("shal512", K.Livermore.shal (size 512));
-      ("swim", K.Spec.swim (size 512));
-      ("tomcatv", K.Spec.tomcatv (size 257));
+      ("expl512", E.Job.Registry { name = "EXPL512"; n = Some (size 512) });
+      ("jacobi512", E.Job.Registry { name = "JACOBI512"; n = Some (size 512) });
+      ("shal512", E.Job.Registry { name = "SHAL512"; n = Some (size 512) });
+      ("swim", E.Job.Registry { name = "SWIM"; n = Some (size 512) });
+      ("tomcatv", E.Job.Registry { name = "TOMCATV"; n = Some (size 257) });
     ]
   in
   let strategies =
     [ L.Pipeline.Original; L.Pipeline.Grouppad_l1; L.Pipeline.Grouppad_l1_l2 ]
   in
+  let results =
+    submit
+      (List.concat_map
+         (fun (_, p) ->
+           List.map (fun s -> E.Job.simulate ~layout:(strategy s) p) strategies)
+         programs)
+  in
   let rows =
-    List.map
-      (fun (name, p) ->
-        match List.map (fun s -> L.Experiment.run_strategy machine s p) strategies with
-        | [ orig; l1; both ] ->
-            [
-              name;
-              L.Report.pct (L.Experiment.miss_rate_pct orig 0);
-              L.Report.pct (L.Experiment.miss_rate_pct l1 0);
-              L.Report.pct (L.Experiment.miss_rate_pct both 0);
-              L.Report.pct (L.Experiment.miss_rate_pct orig 1);
-              L.Report.pct (L.Experiment.miss_rate_pct l1 1);
-              L.Report.pct (L.Experiment.miss_rate_pct both 1);
-              L.Report.pct (L.Experiment.time_improvement ~baseline:orig l1);
-              L.Report.pct (L.Experiment.time_improvement ~baseline:orig both);
-            ]
-        | _ -> assert false)
+    List.mapi
+      (fun i (name, _) ->
+        let orig = results.(3 * i)
+        and l1 = results.((3 * i) + 1)
+        and both = results.((3 * i) + 2) in
+        [
+          name;
+          L.Report.pct (mrate orig 0);
+          L.Report.pct (mrate l1 0);
+          L.Report.pct (mrate both 0);
+          L.Report.pct (mrate orig 1);
+          L.Report.pct (mrate l1 1);
+          L.Report.pct (mrate both 1);
+          L.Report.pct (dtime ~baseline:orig l1);
+          L.Report.pct (dtime ~baseline:orig both);
+        ])
       programs
   in
   L.Report.table
@@ -177,35 +236,39 @@ let figure10 () =
 (* Figure 11: problem-size sweep                                      *)
 (* ----------------------------------------------------------------- *)
 
-let sweep_one ~build ~lo ~hi ~step =
+let sweep_one ~name ~lo ~hi ~step =
   let rec sizes n = if n > hi then [] else n :: sizes (n + step) in
-  List.map
-    (fun n ->
-      let p = build n in
-      let l1_opt = L.Experiment.run_strategy machine L.Pipeline.Grouppad_l1 p in
-      let both = L.Experiment.run_strategy machine L.Pipeline.Grouppad_l1_l2 p in
-      ( n,
-        [
-          L.Experiment.miss_rate_pct l1_opt 0;
-          L.Experiment.miss_rate_pct l1_opt 1;
-          L.Experiment.miss_rate_pct both 0;
-          L.Experiment.miss_rate_pct both 1;
-        ] ))
-    (sizes lo)
+  let sizes = sizes lo in
+  let results =
+    submit
+      (List.concat_map
+         (fun n ->
+           let p = E.Job.Registry { name; n = Some n } in
+           [
+             E.Job.simulate ~layout:(strategy L.Pipeline.Grouppad_l1) p;
+             E.Job.simulate ~layout:(strategy L.Pipeline.Grouppad_l1_l2) p;
+           ])
+         sizes)
+  in
+  List.mapi
+    (fun i n ->
+      let l1_opt = results.(2 * i) and both = results.((2 * i) + 1) in
+      (n, [ mrate l1_opt 0; mrate l1_opt 1; mrate both 0; mrate both 1 ]))
+    sizes
 
 let figure11 () =
   let step = if !fast then 30 else 3 in
-  let run name build =
-    let points = sweep_one ~build ~lo:250 ~hi:520 ~step in
+  let run label name =
+    let points = sweep_one ~name ~lo:250 ~hi:520 ~step in
     L.Report.series
-      ~title:(Printf.sprintf "Figure 11 (%s): miss rates over problem sizes" name)
+      ~title:(Printf.sprintf "Figure 11 (%s): miss rates over problem sizes" label)
       ~x_label:"N"
       ~labels:
         [ "L1 w/L1Opt"; "L2 w/L1Opt"; "L1 w/L1&L2"; "L2 w/L1&L2" ]
       points
   in
-  run "EXPL" K.Livermore.expl;
-  run "SHAL" (fun n -> K.Livermore.shal n);
+  run "EXPL" "EXPL512";
+  run "SHAL" "SHAL512";
   print_endline
     "\nExpected shape (paper): L1 curves of the two versions coincide; the\n\
      L1-only version shows clusters of sizes where the L2 miss rate spikes\n\
@@ -217,48 +280,59 @@ let figure11 () =
 
 let figure12 () =
   let step = if !fast then 50 else 6 in
-  let l1_size = Cs.Machine.s1 machine in
   let rec sizes n = if n > 700 then [] else n :: sizes (n + step) in
-  let points =
-    List.filter_map
+  (* Fusion legality is decided in the submitting domain (it is a static
+     dependence test, independent of the sweep's simulation cost); the
+     model accounting and both simulations run as jobs.  The paper's
+     static counts compare the two original loop bodies against the fused
+     body under GROUPPAD, with L2MAXPAD assumed to preserve on L2
+     whatever L1 loses; peeled prologue/epilogue iterations are excluded,
+     so the fused core is the nest with the largest body. *)
+  let legal =
+    List.filter
       (fun n ->
-        let orig = K.Livermore.expl n in
-        match Locality.Fusion.fuse_program orig 1 with
-        | exception L.Fusion.Illegal _ -> None
-        | fused ->
-            (* Model accounting under GROUPPAD, with L2MAXPAD assumed to
-               preserve on L2 whatever L1 loses (paper's setup).  The
-               paper's static counts compare the two original loop bodies
-               against the fused body, so peeled prologue/epilogue
-               iterations are excluded: the fused core is the nest with
-               the largest body. *)
-            let n76 = List.nth orig.Program.nests 1
-            and n77 = List.nth orig.Program.nests 2 in
-            let core =
-              List.fold_left
-                (fun best nest ->
-                  if List.length (Nest.refs nest) > List.length (Nest.refs best)
-                  then nest
-                  else best)
-                (List.hd fused.Program.nests)
-                fused.Program.nests
-            in
-            let lay_o = L.Pipeline.layout_for machine L.Pipeline.Grouppad_l1 orig in
-            let lay_f = L.Pipeline.layout_for machine L.Pipeline.Grouppad_l1 fused in
-            let count lay nests = An.Fusion_model.count lay ~l1_size nests in
-            let co = count lay_o [ n76; n77 ] and cf = count lay_f [ core ] in
-            let d_l2 = cf.An.Fusion_model.l2_refs - co.An.Fusion_model.l2_refs in
-            let d_mem = cf.An.Fusion_model.memory_refs - co.An.Fusion_model.memory_refs in
-            (* Simulated miss-rate change, normalized to the original
-               version's reference count as in the paper. *)
-            let ro = L.Experiment.run_strategy machine L.Pipeline.Grouppad_l1_l2 orig in
-            let rf = L.Experiment.run_strategy machine L.Pipeline.Grouppad_l1_l2 fused in
-            let refs_o = float_of_int ro.L.Experiment.result.Interp.total_refs in
-            let miss o i = float_of_int (List.nth o.L.Experiment.result.Interp.misses i) in
-            let d_l1_rate = 100.0 *. (miss rf 0 -. miss ro 0) /. refs_o in
-            let d_l2_rate = 100.0 *. (miss rf 1 -. miss ro 1) /. refs_o in
-            Some (n, [ float_of_int d_l2; float_of_int d_mem; d_l1_rate; d_l2_rate ]))
+        match L.Fusion.fuse_program (K.Livermore.expl n) 1 with
+        | exception L.Fusion.Illegal _ -> false
+        | _ -> true)
       (sizes 250)
+  in
+  let count_layout = strategy L.Pipeline.Grouppad_l1 in
+  let results =
+    submit
+      (List.concat_map
+         (fun n ->
+           let base = E.Job.Registry { name = "EXPL512"; n = Some n } in
+           [
+             E.Job.simulate
+               ~count:(count_layout, E.Job.Nests [ 1; 2 ])
+               ~layout:(strategy L.Pipeline.Grouppad_l1_l2) base;
+             E.Job.simulate
+               ~count:(count_layout, E.Job.Largest_body)
+               ~layout:(strategy L.Pipeline.Grouppad_l1_l2)
+               (E.Job.Fused { base; at = 1; max_shift = 4 });
+           ])
+         legal)
+  in
+  let points =
+    List.mapi
+      (fun i n ->
+        let ro = results.(2 * i) and rf = results.((2 * i) + 1) in
+        let co = Option.get ro.E.Job.counts
+        and cf = Option.get rf.E.Job.counts in
+        let d_l2 = cf.An.Fusion_model.l2_refs - co.An.Fusion_model.l2_refs in
+        let d_mem =
+          cf.An.Fusion_model.memory_refs - co.An.Fusion_model.memory_refs
+        in
+        (* Simulated miss-rate change, normalized to the original
+           version's reference count as in the paper. *)
+        let refs_o = float_of_int ro.E.Job.interp.Interp.total_refs in
+        let miss (r : E.Job.result) i =
+          float_of_int (List.nth r.E.Job.interp.Interp.misses i)
+        in
+        let d_l1_rate = 100.0 *. (miss rf 0 -. miss ro 0) /. refs_o in
+        let d_l2_rate = 100.0 *. (miss rf 1 -. miss ro 1) /. refs_o in
+        (n, [ float_of_int d_l2; float_of_int d_mem; d_l1_rate; d_l2_rate ]))
+      legal
   in
   L.Report.series
     ~title:
@@ -295,24 +369,29 @@ let tile_variants n =
 let figure13 () =
   let step = if !fast then 72 else 18 in
   let rec sizes n = if n > 400 then [] else n :: sizes (n + step) in
-  let mflops p =
-    let r = Interp.run machine (Layout.initial p) p in
-    r.Interp.mflops
+  let sizes = sizes 100 in
+  let variants_per_size = 1 + List.length (tile_variants 100) in
+  let results =
+    submit
+      (List.concat_map
+         (fun n ->
+           E.Job.simulate ~layout:E.Job.Initial (E.Job.Matmul { n })
+           :: List.map
+                (fun (_, t) ->
+                  E.Job.simulate ~layout:E.Job.Initial
+                    (E.Job.Tiled_matmul
+                       { n; h = t.L.Tile_size.height; w = t.L.Tile_size.width }))
+                (tile_variants n))
+         sizes)
   in
   let points =
-    List.map
-      (fun n ->
-        let orig = mflops (L.Tiling.matmul n) in
-        let tiled =
-          List.map
-            (fun (_, t) ->
-              mflops
-                (L.Tiling.tiled_matmul ~n ~h:t.L.Tile_size.height
-                   ~w:t.L.Tile_size.width))
-            (tile_variants n)
-        in
-        (n, orig :: tiled))
-      (sizes 100)
+    List.mapi
+      (fun i n ->
+        ( n,
+          List.init variants_per_size (fun j ->
+              results.((variants_per_size * i) + j).E.Job.interp.Interp.mflops)
+        ))
+      sizes
   in
   L.Report.series
     ~title:
@@ -350,34 +429,51 @@ let ablation () =
      compare the direct-mapped assumption against an explicitly
      associativity-aware PAD.  The paper's claim: treating k-way caches
      as direct-mapped loses almost nothing. *)
-  let p = K.Livermore.jacobi (if !fast then 128 else 512) in
-  let layout_orig = Layout.initial p in
-  let layout_pad = L.Pipeline.layout_for machine L.Pipeline.Pad_l1 p in
+  let jacobi_n = if !fast then 128 else 512 in
+  let jacobi = E.Job.Registry { name = "JACOBI512"; n = Some jacobi_n } in
   let s1 = Cs.Machine.s1 machine in
   let l1_line = Cs.Machine.level_line machine 0 in
+  let ks = [ 1; 2; 4 ] in
+  let results =
+    submit
+      (List.concat_map
+         (fun k ->
+           let m =
+             { (E.Job.machine "ultrasparc") with
+               E.Job.assoc = (if k = 1 then None else Some k)
+             }
+           in
+           List.map
+             (fun layout -> E.Job.simulate ~machine:m ~layout jacobi)
+             [
+               E.Job.Initial;
+               strategy L.Pipeline.Pad_l1;
+               E.Job.Pad_assoc { size = s1; line = l1_line; assoc = k };
+             ])
+         ks)
+  in
   let rows =
-    List.map
-      (fun k ->
-        let m = if k = 1 then machine else Cs.Machine.with_associativity k machine in
-        let layout_assoc =
-          L.Pad.apply_assoc ~size:s1 ~line:l1_line ~assoc:k p layout_orig
+    List.mapi
+      (fun i k ->
+        let r_orig = results.(3 * i)
+        and r_pad = results.((3 * i) + 1)
+        and r_assoc = results.((3 * i) + 2) in
+        let rate (r : E.Job.result) =
+          100.0 *. List.nth r.E.Job.interp.Interp.miss_rates 0
         in
-        let r_orig = Interp.run m layout_orig p in
-        let r_pad = Interp.run m layout_pad p in
-        let r_assoc = Interp.run m layout_assoc p in
+        let cycles (r : E.Job.result) = r.E.Job.interp.Interp.cycles in
         [
           string_of_int k;
-          L.Report.pct (100.0 *. List.nth r_orig.Interp.miss_rates 0);
-          L.Report.pct (100.0 *. List.nth r_pad.Interp.miss_rates 0);
-          L.Report.pct (100.0 *. List.nth r_assoc.Interp.miss_rates 0);
+          L.Report.pct (rate r_orig);
+          L.Report.pct (rate r_pad);
+          L.Report.pct (rate r_assoc);
           L.Report.pct
-            (Cs.Cost_model.improvement ~orig:r_orig.Interp.cycles
-               ~opt:r_pad.Interp.cycles);
+            (Cs.Cost_model.improvement ~orig:(cycles r_orig) ~opt:(cycles r_pad));
           L.Report.pct
-            (Cs.Cost_model.improvement ~orig:r_orig.Interp.cycles
-               ~opt:r_assoc.Interp.cycles);
+            (Cs.Cost_model.improvement ~orig:(cycles r_orig)
+               ~opt:(cycles r_assoc));
         ])
-      [ 1; 2; 4 ]
+      ks
   in
   L.Report.table
     ~title:
@@ -388,21 +484,29 @@ let ablation () =
     rows;
   (* (b) three-level hierarchy: MULTILVLPAD with (S1, Lmax) on an
      Alpha-21164-style machine. *)
-  let alpha = Cs.Machine.alpha21164 in
-  let p = K.Livermore.expl (if !fast then 128 else 512) in
+  let expl_n = if !fast then 128 else 512 in
+  let expl = E.Job.Registry { name = "EXPL512"; n = Some expl_n } in
+  let versions =
+    [
+      ("Orig", L.Pipeline.Original);
+      ("PAD(L1)", L.Pipeline.Pad_l1);
+      ("MULTILVLPAD", L.Pipeline.Pad_multilevel);
+    ]
+  in
+  let results =
+    submit
+      (List.map
+         (fun (_, s) ->
+           E.Job.simulate ~machine:(E.Job.machine "alpha") ~layout:(strategy s)
+             expl)
+         versions)
+  in
   let rows =
-    List.map
-      (fun (label, strategy) ->
-        let o = L.Experiment.run_strategy alpha strategy p in
+    List.mapi
+      (fun i (label, _) ->
         label
-        :: List.map
-             (fun i -> L.Report.pct (L.Experiment.miss_rate_pct o i))
-             [ 0; 1; 2 ])
-      [
-        ("Orig", L.Pipeline.Original);
-        ("PAD(L1)", L.Pipeline.Pad_l1);
-        ("MULTILVLPAD", L.Pipeline.Pad_multilevel);
-      ]
+        :: List.map (fun l -> L.Report.pct (mrate results.(i) l)) [ 0; 1; 2 ])
+      versions
   in
   L.Report.table
     ~title:"Ablation: three-level hierarchy (8K/128K/2M), EXPL"
@@ -415,27 +519,37 @@ let ablation () =
   let steps = 8 in
   let col_bytes = n * 8 in
   let l2_cols = Cs.Machine.level_size machine 1 / col_bytes in
-  let per_ref p =
-    let r = Interp.run machine (Layout.initial p) p in
-    (r.Interp.cycles /. float_of_int r.Interp.total_refs, r)
+  let blocks =
+    [
+      ("tiny block (L1-ish)", 1);
+      ("half-L2 block", max 1 ((l2_cols / 2) - steps));
+      ("over-L2 block", 2 * l2_cols);
+    ]
   in
-  let untiled, _ = per_ref (K.Time_kernels.sweep_2d ~n ~steps) in
+  let results =
+    submit
+      (E.Job.simulate ~layout:E.Job.Initial (E.Job.Time_sweep { n; steps })
+      :: List.map
+           (fun (_, block) ->
+             E.Job.simulate ~layout:E.Job.Initial
+               (E.Job.Time_tiled { n; steps; block }))
+           blocks)
+  in
+  let per_ref (r : E.Job.result) =
+    r.E.Job.interp.Interp.cycles
+    /. float_of_int r.E.Job.interp.Interp.total_refs
+  in
   let rows =
-    [ [ "untiled sweeps"; "-"; Printf.sprintf "%.3f" untiled ] ]
-    @ List.map
-        (fun (label, block) ->
+    [ [ "untiled sweeps"; "-"; Printf.sprintf "%.3f" (per_ref results.(0)) ] ]
+    @ List.mapi
+        (fun i (label, block) ->
           let cols = K.Time_kernels.tile_columns ~steps ~block in
-          let cyc, _ = per_ref (K.Time_kernels.time_tiled_2d ~n ~steps ~block) in
           [
             label;
             Printf.sprintf "%d cols = %dK" cols (cols * col_bytes / 1024);
-            Printf.sprintf "%.3f" cyc;
+            Printf.sprintf "%.3f" (per_ref results.(i + 1));
           ])
-        [
-          ("tiny block (L1-ish)", 1);
-          ("half-L2 block", max 1 ((l2_cols / 2) - steps));
-          ("over-L2 block", 2 * l2_cols);
-        ]
+        blocks
   in
   L.Report.table
     ~title:
@@ -451,32 +565,33 @@ let ablation () =
      the untiled sweeps and over-L2 blocks.";
   (* (d) write policy: the paper's simulator allocates on writes; check
      how much the policy choice moves the reported miss rates. *)
-  let p = K.Livermore.jacobi (if !fast then 128 else 512) in
-  let layout = L.Pipeline.layout_for machine L.Pipeline.Pad_l1 p in
-  let run ~write_allocate =
-    let h = Cs.Hierarchy.create ~write_allocate machine.Cs.Machine.geometries in
-    ignore (Interp.feed h layout p);
-    let rates = Cs.Hierarchy.miss_rates h in
-    (rates, Cs.Hierarchy.writebacks h)
+  let results =
+    submit
+      (List.map
+         (fun write_allocate ->
+           E.Job.simulate
+             ~machine:
+               { (E.Job.machine "ultrasparc") with
+                 E.Job.write_allocate = Some write_allocate
+               }
+             ~layout:(strategy L.Pipeline.Pad_l1) jacobi)
+         [ true; false ])
   in
-  let wa, wb_wa = run ~write_allocate:true in
-  let nwa, wb_nwa = run ~write_allocate:false in
-  let rows =
+  let row label (r : E.Job.result) =
     [
-      [ "write-allocate (paper)";
-        L.Report.pct (100.0 *. List.nth wa 0);
-        L.Report.pct (100.0 *. List.nth wa 1);
-        string_of_int wb_wa ];
-      [ "no-allocate";
-        L.Report.pct (100.0 *. List.nth nwa 0);
-        L.Report.pct (100.0 *. List.nth nwa 1);
-        string_of_int wb_nwa ];
+      label;
+      L.Report.pct (100.0 *. List.nth r.E.Job.interp.Interp.miss_rates 0);
+      L.Report.pct (100.0 *. List.nth r.E.Job.interp.Interp.miss_rates 1);
+      string_of_int r.E.Job.interp.Interp.writebacks;
     ]
   in
   L.Report.table
     ~title:"Ablation: write policy on padded JACOBI (miss rates + writebacks)"
     ~columns:[ "policy"; "L1"; "L2"; "writebacks" ]
-    rows;
+    [
+      row "write-allocate (paper)" results.(0);
+      row "no-allocate" results.(1);
+    ];
   (* (e) hardware next-line prefetching — the paper's footnote 1: DOT
      improved "due to the differences in the ability of the underlying
      memory system to handle multiple outstanding cache misses, since the
@@ -485,35 +600,47 @@ let ablation () =
      is visible: PAD's one-line (32B) separation puts each vector's
      prefetch stream on top of the other vector's demand stream, while
      MULTILVLPAD's Lmax = 64B separation keeps the streams disjoint. *)
-  let run_pf p layout prefetch_levels =
-    let h =
-      Cs.Hierarchy.create ~prefetch_levels machine.Cs.Machine.geometries
-    in
-    ignore (Interp.feed h layout p);
-    Cs.Hierarchy.miss_rates h
+  let dot =
+    E.Job.Registry
+      { name = "DOT256"; n = Some (if !fast then 65_536 else 262_144) }
   in
-  let p = K.Livermore.dot (if !fast then 65_536 else 262_144) in
   let layouts =
     [
-      ("packed", Layout.initial p);
-      ("PAD (32B pads)", L.Pipeline.layout_for machine L.Pipeline.Pad_l1 p);
-      ("MULTILVLPAD (64B pads)",
-       L.Pipeline.layout_for machine L.Pipeline.Pad_multilevel p);
+      ("packed", E.Job.Initial);
+      ("PAD (32B pads)", strategy L.Pipeline.Pad_l1);
+      ("MULTILVLPAD (64B pads)", strategy L.Pipeline.Pad_multilevel);
     ]
   in
+  let pf_configs = [ ("no prefetch", []); ("next-line prefetch", [ 0; 1 ]) ] in
+  let results =
+    submit
+      (List.concat_map
+         (fun (_, layout) ->
+           List.map
+             (fun (_, pf) ->
+               E.Job.simulate
+                 ~machine:
+                   { (E.Job.machine "ultrasparc") with E.Job.prefetch_levels = pf }
+                 ~layout dot)
+             pf_configs)
+         layouts)
+  in
   let rows =
-    List.concat_map
-      (fun (label, layout) ->
-        List.map
-          (fun (pf_label, pf) ->
-            let rates = run_pf p layout pf in
-            [
-              label ^ ", " ^ pf_label;
-              L.Report.pct (100.0 *. List.nth rates 0);
-              L.Report.pct (100.0 *. List.nth rates 1);
-            ])
-          [ ("no prefetch", []); ("next-line prefetch", [ 0; 1 ]) ])
-      layouts
+    List.concat
+      (List.mapi
+         (fun i (label, _) ->
+           List.mapi
+             (fun j (pf_label, _) ->
+               let r = results.((2 * i) + j) in
+               [
+                 label ^ ", " ^ pf_label;
+                 L.Report.pct
+                   (100.0 *. List.nth r.E.Job.interp.Interp.miss_rates 0);
+                 L.Report.pct
+                   (100.0 *. List.nth r.E.Job.interp.Interp.miss_rates 1);
+               ])
+             pf_configs)
+         layouts)
   in
   L.Report.table
     ~title:
@@ -536,21 +663,33 @@ let ablation () =
 let tiles () =
   let step = if !fast then 100 else 25 in
   let rec sizes n = if n > 400 then [] else n :: sizes (n + step) in
+  let sizes = sizes 100 in
   let elem = 8 and l1 = 16 * 1024 in
-  let mflops_of (t : L.Tile_size.tile) n =
-    let p =
-      L.Tiling.tiled_matmul ~n ~h:t.L.Tile_size.height ~w:t.L.Tile_size.width
-    in
-    (Interp.run machine (Layout.initial p) p).Interp.mflops
+  let tiles_for n =
+    [
+      L.Tile_size.select ~cache_bytes:l1 ~elem ~col_elems:n ~rows:n ();
+      L.Tile_size.lrw ~cache_bytes:l1 ~elem ~col_elems:n ~rows:n;
+      L.Tile_size.tss ~cache_bytes:l1 ~elem ~col_elems:n ~rows:n;
+    ]
+  in
+  let results =
+    submit
+      (List.concat_map
+         (fun n ->
+           List.map
+             (fun (t : L.Tile_size.tile) ->
+               E.Job.simulate ~layout:E.Job.Initial
+                 (E.Job.Tiled_matmul { n; h = t.L.Tile_size.height; w = t.L.Tile_size.width }))
+             (tiles_for n))
+         sizes)
   in
   let points =
-    List.map
-      (fun n ->
-        let euc = L.Tile_size.select ~cache_bytes:l1 ~elem ~col_elems:n ~rows:n () in
-        let lrw = L.Tile_size.lrw ~cache_bytes:l1 ~elem ~col_elems:n ~rows:n in
-        let tss = L.Tile_size.tss ~cache_bytes:l1 ~elem ~col_elems:n ~rows:n in
-        (n, [ mflops_of euc n; mflops_of lrw n; mflops_of tss n ]))
-      (sizes 100)
+    List.mapi
+      (fun i n ->
+        ( n,
+          List.init 3 (fun j ->
+              results.((3 * i) + j).E.Job.interp.Interp.mflops) ))
+      sizes
   in
   L.Report.series
     ~title:
@@ -575,32 +714,46 @@ let predict () =
   let size n = if !fast then max 64 (n / 4) else n in
   let programs =
     [
-      ("jacobi", K.Livermore.jacobi (size 512));
-      ("expl", K.Livermore.expl (size 512));
-      ("adi", K.Livermore.adi (size 256));
-      ("dot", K.Livermore.dot (size 262_144));
-      ("shal", K.Livermore.shal (size 256));
-      ("figure2", K.Paper_examples.figure2 (size 512));
+      ("jacobi", E.Job.Registry { name = "JACOBI512"; n = Some (size 512) });
+      ("expl", E.Job.Registry { name = "EXPL512"; n = Some (size 512) });
+      ("adi", E.Job.Registry { name = "ADI32"; n = Some (size 256) });
+      ("dot", E.Job.Registry { name = "DOT256"; n = Some (size 262_144) });
+      ("shal", E.Job.Registry { name = "SHAL512"; n = Some (size 256) });
+      ("figure2", E.Job.Paper { name = "figure2"; n = size 512 });
     ]
   in
+  let versions =
+    [ ("packed", L.Pipeline.Original); ("padded", L.Pipeline.Pad_l1) ]
+  in
+  let results =
+    submit
+      (List.concat_map
+         (fun (_, p) ->
+           List.map
+             (fun (_, s) -> E.Job.simulate ~predict:true ~layout:(strategy s) p)
+             versions)
+         programs)
+  in
   let rows =
-    List.concat_map
-      (fun (name, p) ->
-        List.map
-          (fun (vlabel, strategy) ->
-            let layout = L.Pipeline.layout_for machine strategy p in
-            let sim = Interp.run machine layout p in
-            let predicted = An.Miss_predict.program_misses layout machine p in
-            let refs = float_of_int sim.Interp.total_refs in
-            [
-              name ^ " " ^ vlabel;
-              L.Report.pct (100.0 *. List.hd sim.Interp.miss_rates);
-              L.Report.pct (100.0 *. List.hd predicted /. refs);
-              L.Report.f2
-                (List.hd predicted /. float_of_int (max 1 (List.hd sim.Interp.misses)));
-            ])
-          [ ("packed", L.Pipeline.Original); ("padded", L.Pipeline.Pad_l1) ])
-      programs
+    List.concat
+      (List.mapi
+         (fun i (name, _) ->
+           List.mapi
+             (fun j (vlabel, _) ->
+               let r = results.((2 * i) + j) in
+               let sim = r.E.Job.interp in
+               let predicted = Option.get r.E.Job.predicted in
+               let refs = float_of_int sim.Interp.total_refs in
+               [
+                 name ^ " " ^ vlabel;
+                 L.Report.pct (100.0 *. List.hd sim.Interp.miss_rates);
+                 L.Report.pct (100.0 *. List.hd predicted /. refs);
+                 L.Report.f2
+                   (List.hd predicted
+                   /. float_of_int (max 1 (List.hd sim.Interp.misses)));
+               ])
+             versions)
+         programs)
   in
   L.Report.table
     ~title:
@@ -720,30 +873,127 @@ let sections =
     ("bechamel", bechamel);
   ]
 
+(* Bechamel measures real wall-clock time, so its output can never be
+   byte-identical across runs; it only runs when asked for by name. *)
+let default_sections =
+  List.filter (fun (name, _) -> name <> "bechamel") sections
+
+let usage () =
+  Printf.eprintf
+    "usage: main.exe [fast] [--jobs N] [--no-cache] [--cache-dir DIR] \
+     [SECTION...]\nsections: %s\n"
+    (String.concat ", " (List.map fst sections))
+
+let parse_args args =
+  let wanted = ref [] in
+  let parse_jobs n =
+    match int_of_string_opt n with
+    | Some n -> max 1 n
+    | None ->
+        Printf.eprintf "--jobs expects a number, got %S\n" n;
+        usage ();
+        exit 2
+  in
+  let rec go = function
+    | [] -> ()
+    | "--" :: rest -> go rest
+    | "fast" :: rest ->
+        fast := true;
+        go rest
+    | "--jobs" :: n :: rest ->
+        jobs := parse_jobs n;
+        go rest
+    | "--no-cache" :: rest ->
+        use_cache := false;
+        go rest
+    | "--cache-dir" :: d :: rest ->
+        cache_dir := Some d;
+        go rest
+    | arg :: rest when String.length arg > 7 && String.sub arg 0 7 = "--jobs=" ->
+        jobs := parse_jobs (String.sub arg 7 (String.length arg - 7));
+        go rest
+    | arg :: rest ->
+        (match List.assoc_opt arg sections with
+        | Some f -> wanted := (arg, f) :: !wanted
+        | None ->
+            Printf.eprintf "unknown section %s (known: %s)\n" arg
+              (String.concat ", " (List.map fst sections));
+            usage ();
+            exit 2);
+        go rest
+  in
+  go args;
+  List.rev !wanted
+
+let json_path = "BENCH_engine.json"
+
+let dump_json section_times =
+  match !progress with
+  | None -> ()
+  | Some p ->
+      let sections_json =
+        Printf.sprintf "[%s]"
+          (String.concat ", "
+             (List.map
+                (fun (name, wall) ->
+                  Printf.sprintf "{\"name\": \"%s\", \"wall_s\": %.3f}"
+                    (E.Progress.json_escape name)
+                    wall)
+                section_times))
+      in
+      let extra =
+        [
+          ("mode", if !fast then "\"fast\"" else "\"full\"");
+          ("jobs", string_of_int !jobs);
+          ("cache", string_of_bool !use_cache);
+          ( "models_version",
+            Printf.sprintf "\"%s\""
+              (E.Progress.json_escape
+                 (match !cache with
+                 | Some c -> E.Cache.version c
+                 | None -> E.Cache.git_describe ())) );
+          ("sections", sections_json);
+        ]
+      in
+      let oc = open_out json_path in
+      output_string oc (E.Progress.to_json ~extra p);
+      close_out oc
+
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
-  let args = List.filter (fun a -> a <> "--") args in
-  let fast_requested = List.mem "fast" args || Sys.getenv_opt "MLC_FAST" <> None in
-  fast := fast_requested;
-  let wanted = List.filter (fun a -> a <> "fast") args in
-  let to_run =
-    if wanted = [] then sections
-    else
-      List.filter_map
-        (fun name ->
-          match List.assoc_opt name sections with
-          | Some f -> Some (name, f)
-          | None ->
-              Printf.eprintf "unknown section %s (known: %s)\n" name
-                (String.concat ", " (List.map fst sections));
-              None)
-        wanted
-  in
+  let wanted = parse_args args in
+  fast := !fast || Sys.getenv_opt "MLC_FAST" <> None;
+  let to_run = if wanted = [] then default_sections else wanted in
+  if !use_cache then cache := Some (E.Cache.open_ ?dir:!cache_dir ());
+  progress := Some (E.Progress.create ~jobs:!jobs ());
   Printf.printf "mlcache bench harness — %s mode\n"
     (if !fast then "fast" else "full");
-  List.iter
-    (fun (name, f) ->
-      let t0 = Sys.time () in
-      f ();
-      Printf.printf "\n[%s done in %.1fs cpu]\n" name (Sys.time () -. t0))
-    to_run
+  Printf.eprintf "engine: %d worker domain%s, cache %s\n%!" !jobs
+    (if !jobs = 1 then "" else "s")
+    (match !cache with
+    | Some c ->
+        Printf.sprintf "%s (models %s)" (E.Cache.dir c) (E.Cache.version c)
+    | None -> "disabled");
+  let section_times =
+    List.map
+      (fun (name, f) ->
+        let t0 = Unix.gettimeofday () in
+        f ();
+        let wall = Unix.gettimeofday () -. t0 in
+        Option.iter E.Progress.finish !progress;
+        Printf.eprintf "[%s done in %.1fs]\n%!" name wall;
+        (name, wall))
+      to_run
+  in
+  Option.iter E.Progress.finish !progress;
+  (match !progress with
+  | Some p ->
+      Printf.eprintf
+        "engine totals: %d jobs, %d cache hits (%.0f%%), %.2e refs streamed, \
+         %.1f jobs/s\n%!"
+        (E.Progress.jobs_done p) (E.Progress.cache_hits p)
+        (100.0 *. E.Progress.hit_rate p)
+        (float_of_int (E.Progress.refs_streamed p))
+        (E.Progress.jobs_per_sec p)
+  | None -> ());
+  dump_json section_times

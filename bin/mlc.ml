@@ -3,6 +3,7 @@
    Subcommands:
      list                           show the benchmark inventory (Table 1)
      simulate PROG                  run a program under a strategy, print metrics
+     sweep PROG                     parallel size x strategy sweep on the engine
      layout PROG                    print the layout a strategy produces
      arcs PROG                      text rendering of the paper's layout diagrams
      fuse PROG                      fuse two nests, print the two-level accounting
@@ -90,6 +91,133 @@ let simulate_cmd =
   Cmd.v
     (Cmd.info "simulate"
        ~doc:"Simulate a program under a layout strategy and print miss rates.")
+    term
+
+(* --- sweep ----------------------------------------------------------------- *)
+
+let sweep_cmd =
+  let module E = Mlc_engine in
+  let lo_arg =
+    Arg.(value & opt int 250 & info [ "lo" ] ~docv:"N" ~doc:"Smallest size.")
+  in
+  let hi_arg =
+    Arg.(value & opt int 520 & info [ "hi" ] ~docv:"N" ~doc:"Largest size.")
+  in
+  let step_arg =
+    Arg.(value & opt int 10 & info [ "step" ] ~docv:"S" ~doc:"Size step.")
+  in
+  let strategies_arg =
+    let doc =
+      "Comma-separated strategies (orig,pad,multilvlpad,grouppad,l2maxpad)."
+    in
+    Arg.(value & opt string "grouppad,l2maxpad"
+         & info [ "strategies" ] ~docv:"S,S" ~doc)
+  in
+  let jobs_arg =
+    let doc = "Worker domains (default: the machine's core count)." in
+    Arg.(value & opt int (E.Pool.default_jobs ()) & info [ "jobs"; "j" ] ~docv:"N" ~doc)
+  in
+  let no_cache_arg =
+    Arg.(value & flag & info [ "no-cache" ] ~doc:"Bypass the on-disk result cache.")
+  in
+  let cache_dir_arg =
+    Arg.(value & opt (some string) None
+         & info [ "cache-dir" ] ~docv:"DIR"
+             ~doc:"Cache directory (default _mlc_cache, or MLC_CACHE_DIR).")
+  in
+  let run prog lo hi step strategies machine_name jobs no_cache cache_dir =
+    let machine = machine_of machine_name in
+    let strategies =
+      String.split_on_char ',' strategies
+      |> List.filter (fun s -> s <> "")
+      |> List.map E.Job.strategy_of_tag
+    in
+    if strategies = [] then failwith "sweep: no strategies given";
+    let rec sizes n = if n > hi then [] else n :: sizes (n + max 1 step) in
+    let sizes = sizes lo in
+    let entry =
+      match K.Registry.find_opt prog with
+      | Some e -> e
+      | None ->
+          failwith (Printf.sprintf "unknown program %s (see `mlc list`)" prog)
+    in
+    if entry.K.Registry.build_sized = None then
+      failwith (Printf.sprintf "%s has no size parameter" entry.K.Registry.name);
+    let cache = if no_cache then None else Some (E.Cache.open_ ?dir:cache_dir ()) in
+    let progress = E.Progress.create ~jobs () in
+    let specs =
+      List.concat_map
+        (fun n ->
+          List.map
+            (fun s ->
+              E.Job.simulate
+                ~machine:(E.Job.machine machine_name)
+                ~layout:(E.Job.Strategy s)
+                (E.Job.Registry { name = entry.K.Registry.name; n = Some n }))
+            strategies)
+        sizes
+      |> Array.of_list
+    in
+    let t0 = Unix.gettimeofday () in
+    let results = E.Engine.run ?cache ~progress ~jobs specs in
+    E.Progress.finish progress;
+    let per_size = List.length strategies in
+    let n_levels = Cs.Machine.n_levels machine in
+    let columns =
+      "N"
+      :: List.concat_map
+           (fun s ->
+             let tag = E.Job.strategy_tag s in
+             List.init n_levels (fun l -> Printf.sprintf "%s L%d" tag (l + 1))
+             @ [ tag ^ " cycles" ])
+           strategies
+    in
+    let rows =
+      List.mapi
+        (fun i n ->
+          string_of_int n
+          :: List.concat
+               (List.init per_size (fun j ->
+                    let r = results.((per_size * i) + j) in
+                    List.init n_levels (fun l ->
+                        L.Report.pct
+                          (100.0
+                          *. List.nth r.E.Job.interp.Mlc_ir.Interp.miss_rates l))
+                    @ [
+                        Printf.sprintf "%.3e"
+                          r.E.Job.interp.Mlc_ir.Interp.cycles;
+                      ])))
+        sizes
+    in
+    L.Report.table
+      ~title:
+        (Printf.sprintf "Sweep: %s over N=%d..%d step %d on %s"
+           entry.K.Registry.name lo hi step machine.Cs.Machine.name)
+      ~columns rows;
+    let merged = E.Engine.merged_stats results in
+    Format.printf "@.totals:@.";
+    List.iteri
+      (fun l s -> Format.printf "  L%d %a@." (l + 1) Cs.Stats.pp s)
+      merged;
+    Format.printf
+      "%d jobs (%d cache hits) in %.1fs, %.1f jobs/s, %d refs streamed@."
+      (E.Progress.jobs_done progress)
+      (E.Progress.cache_hits progress)
+      (Unix.gettimeofday () -. t0)
+      (E.Progress.jobs_per_sec progress)
+      (E.Progress.refs_streamed progress)
+  in
+  let term =
+    Term.(
+      const run $ prog_arg $ lo_arg $ hi_arg $ step_arg $ strategies_arg
+      $ machine_arg $ jobs_arg $ no_cache_arg $ cache_dir_arg)
+  in
+  Cmd.v
+    (Cmd.info "sweep"
+       ~doc:
+         "Sweep a benchmark over problem sizes and strategies on the \
+          parallel experiment engine (domain pool + content-addressed \
+          result cache).")
     term
 
 (* --- layout ---------------------------------------------------------------- *)
@@ -377,6 +505,6 @@ let () =
   in
   let group =
     Cmd.group info
-      [ list_cmd; simulate_cmd; layout_cmd; arcs_cmd; fuse_cmd; tile_cmd; run_cmd; curve_cmd; emit_cmd; compile_cmd ]
+      [ list_cmd; simulate_cmd; sweep_cmd; layout_cmd; arcs_cmd; fuse_cmd; tile_cmd; run_cmd; curve_cmd; emit_cmd; compile_cmd ]
   in
   exit (Cmd.eval group)

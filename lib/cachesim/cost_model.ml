@@ -27,6 +27,21 @@ let cycles t hierarchy =
   total := !total +. (float_of_int last.Stats.misses *. t.memory_cycles);
   !total
 
+let breakdown t hierarchy =
+  let levels = Array.of_list (Hierarchy.levels hierarchy) in
+  let n = Array.length levels in
+  if Array.length t.hit_cycles < n then
+    invalid_arg "Cost_model.breakdown: model has fewer levels than hierarchy";
+  let per_level =
+    List.init n (fun i ->
+        let stats = Level.stats levels.(i) in
+        ( Printf.sprintf "L%d" (i + 1),
+          float_of_int stats.Stats.accesses *. t.hit_cycles.(i) ))
+  in
+  let last = Level.stats levels.(n - 1) in
+  per_level
+  @ [ ("memory", float_of_int last.Stats.misses *. t.memory_cycles) ]
+
 let seconds t hierarchy = cycles t hierarchy /. t.clock_hz
 
 let mflops t ~flops hierarchy =

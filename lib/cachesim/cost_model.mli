@@ -26,6 +26,11 @@ val alpha21164 : t
     the L2 cost, and so on; last-level misses pay [memory_cycles]. *)
 val cycles : t -> Hierarchy.t -> float
 
+(** [breakdown t h] splits {!cycles} into its additive terms: one
+    [("L<i>", cycles)] pair per level plus a final [("memory", cycles)]
+    term.  The pairs sum to [cycles t h]. *)
+val breakdown : t -> Hierarchy.t -> (string * float) list
+
 (** [seconds t h] is [cycles] over the clock. *)
 val seconds : t -> Hierarchy.t -> float
 

@@ -15,6 +15,18 @@ let record t ~hit =
   t.accesses <- t.accesses + 1;
   if hit then t.hits <- t.hits + 1 else t.misses <- t.misses + 1
 
+let zero () = create ()
+
+let add a b =
+  {
+    accesses = a.accesses + b.accesses;
+    hits = a.hits + b.hits;
+    misses = a.misses + b.misses;
+  }
+
+let equal a b =
+  a.accesses = b.accesses && a.hits = b.hits && a.misses = b.misses
+
 let miss_rate_vs ~total_refs t =
   if total_refs = 0 then 0.0 else float_of_int t.misses /. float_of_int total_refs
 

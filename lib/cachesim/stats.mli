@@ -14,6 +14,17 @@ type t = {
 
 val create : unit -> t
 
+(** A fresh all-zero counter — the identity of {!add}. *)
+val zero : unit -> t
+
+(** [add a b] is a new counter holding the component-wise sums.  [add] is
+    associative and commutative with {!zero} as identity, so merging
+    per-worker counters is order-independent — the property the parallel
+    experiment engine's deterministic result merging relies on. *)
+val add : t -> t -> t
+
+val equal : t -> t -> bool
+
 val reset : t -> unit
 
 val record : t -> hit:bool -> unit

@@ -1,0 +1,129 @@
+type t = {
+  dir : string;
+  version : string;
+  hits : int Atomic.t;
+  misses : int Atomic.t;
+  stores : int Atomic.t;
+}
+
+let default_dir () =
+  match Sys.getenv_opt "MLC_CACHE_DIR" with
+  | Some d when d <> "" -> d
+  | _ -> "_mlc_cache"
+
+(* The models' identity: a change to any simulator/optimizer source means
+   old results may be wrong, so it participates in every key.  Old entries
+   are simply never addressed again — keys invalidate, mtimes never do. *)
+let git_describe_memo = ref None
+
+let git_describe () =
+  match !git_describe_memo with
+  | Some v -> v
+  | None ->
+      let v =
+        match Sys.getenv_opt "MLC_MODELS_VERSION" with
+        | Some v when v <> "" -> v
+        | _ -> (
+            try
+              let ic =
+                Unix.open_process_in "git describe --always --dirty 2>/dev/null"
+              in
+              let line = try input_line ic with End_of_file -> "" in
+              match (Unix.close_process_in ic, line) with
+              | Unix.WEXITED 0, line when line <> "" -> line
+              | _ -> "unversioned"
+            with _ -> "unversioned")
+      in
+      git_describe_memo := Some v;
+      v
+
+let create_dir_p dir =
+  (* mkdir -p, tolerant of races with sibling workers *)
+  let rec go d =
+    if d = "" || d = "." || d = "/" || Sys.file_exists d then ()
+    else begin
+      go (Filename.dirname d);
+      try Unix.mkdir d 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+    end
+  in
+  go dir
+
+let open_ ?dir ?version () =
+  let dir = match dir with Some d -> d | None -> default_dir () in
+  let version = match version with Some v -> v | None -> git_describe () in
+  create_dir_p dir;
+  {
+    dir;
+    version;
+    hits = Atomic.make 0;
+    misses = Atomic.make 0;
+    stores = Atomic.make 0;
+  }
+
+let dir t = t.dir
+
+let version t = t.version
+
+let hits t = Atomic.get t.hits
+
+let misses t = Atomic.get t.misses
+
+let key t spec =
+  Digest.to_hex (Digest.string (t.version ^ "\x00" ^ Job.canonical spec))
+
+let path_of_key t k =
+  Filename.concat (Filename.concat t.dir (String.sub k 0 2)) (k ^ ".bin")
+
+(* Entries carry the canonical spec string so a (vanishingly unlikely)
+   digest collision or a truncated file degrades to a miss, never to a
+   wrong result. *)
+let read_entry path wanted_key =
+  match open_in_bin path with
+  | exception Sys_error _ -> None
+  | ic ->
+      let entry =
+        try
+          let (stored_key, result) : string * Job.result =
+            Marshal.from_channel ic
+          in
+          if stored_key = wanted_key then Some result else None
+        with _ -> None
+      in
+      close_in_noerr ic;
+      entry
+
+let find t spec =
+  let canon = Job.canonical spec in
+  match read_entry (path_of_key t (key t spec)) canon with
+  | Some r ->
+      Atomic.incr t.hits;
+      Some r
+  | None ->
+      Atomic.incr t.misses;
+      None
+
+let store t spec (result : Job.result) =
+  let k = key t spec in
+  let path = path_of_key t k in
+  create_dir_p (Filename.dirname path);
+  (* Write-to-temp + rename: concurrent workers storing the same key race
+     benignly (last rename wins, both files are identical). *)
+  let tmp =
+    Printf.sprintf "%s.tmp.%d.%d" path (Unix.getpid ())
+      (Domain.self () :> int)
+  in
+  (try
+     let oc = open_out_bin tmp in
+     Marshal.to_channel oc (Job.canonical spec, result) [];
+     close_out oc;
+     Sys.rename tmp path;
+     Atomic.incr t.stores
+   with Sys_error _ | Unix.Unix_error _ ->
+     (* A read-only or vanished cache directory degrades to no caching. *)
+     (try Sys.remove tmp with Sys_error _ -> ()));
+  ()
+
+let invalidate t spec =
+  match Sys.remove (path_of_key t (key t spec)) with
+  | () -> ()
+  | exception Sys_error _ -> ()

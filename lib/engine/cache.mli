@@ -1,0 +1,47 @@
+(** Content-addressed on-disk result cache.
+
+    Key = MD5 digest of the job's canonical spec string (kernel, size,
+    strategy, machine, attached models) salted with the {e models
+    version} — [git describe --always --dirty] of this repository, or
+    [MLC_MODELS_VERSION] when set.  Changing any model source changes the
+    version, so every old key silently stops being addressed: entries are
+    invalidated {e by key}, never by mtime.
+
+    Value = [Marshal] of (canonical spec, {!Job.result}) — the per-level
+    counters and the cost breakdown.  Entries are written to a temp file
+    and renamed into place, so concurrent workers and concurrent
+    processes can share one cache directory. *)
+
+type t
+
+(** [MLC_CACHE_DIR] or ["_mlc_cache"]. *)
+val default_dir : unit -> string
+
+(** The models version used by default keys (memoized per process). *)
+val git_describe : unit -> string
+
+(** [open_ ?dir ?version ()] creates the directory if needed.
+    [version] defaults to {!git_describe}. *)
+val open_ : ?dir:string -> ?version:string -> unit -> t
+
+val dir : t -> string
+
+val version : t -> string
+
+(** The hex key a spec is filed under (version-salted digest). *)
+val key : t -> Job.spec -> string
+
+(** Lookup; counts a hit or a miss.  Corrupt or mismatching entries read
+    as misses. *)
+val find : t -> Job.spec -> Job.result option
+
+(** Store a result; errors (read-only dir, …) degrade to not caching. *)
+val store : t -> Job.spec -> Job.result -> unit
+
+(** Drop one key's entry, if present. *)
+val invalidate : t -> Job.spec -> unit
+
+(** Lifetime lookup counters for this handle. *)
+val hits : t -> int
+
+val misses : t -> int

@@ -1,0 +1,33 @@
+module Cs = Mlc_cachesim
+
+let run ?cache ?progress ?jobs specs =
+  Option.iter (fun p -> Progress.expect p (Array.length specs)) progress;
+  let one ~worker spec =
+    let cached = Option.bind cache (fun c -> Cache.find c spec) in
+    let result, cache_hit =
+      match cached with
+      | Some r -> (r, true)
+      | None ->
+          let r = Job.execute spec in
+          Option.iter (fun c -> Cache.store c spec r) cache;
+          (r, false)
+    in
+    Option.iter
+      (fun p ->
+        Progress.record p ~worker ~cache_hit
+          ~refs:(if cache_hit then 0 else result.Job.interp.Mlc_ir.Interp.total_refs))
+      progress;
+    result
+  in
+  Pool.map ?jobs one specs
+
+let merged_stats results =
+  Array.fold_left
+    (fun acc (r : Job.result) ->
+      match acc with
+      | [] -> List.map (fun s -> Cs.Stats.add (Cs.Stats.zero ()) s) r.Job.level_stats
+      | acc ->
+          if List.length acc <> List.length r.Job.level_stats then
+            invalid_arg "Engine.merged_stats: results with different level counts"
+          else List.map2 Cs.Stats.add acc r.Job.level_stats)
+    [] results

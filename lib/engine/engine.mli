@@ -1,0 +1,30 @@
+(** The experiment engine: content-addressed caching in front of the
+    domain pool.
+
+    [run specs] resolves each spec against the cache, executes the misses
+    on the worker pool, stores them back, and returns results in spec
+    order — so output built from the results is identical for any worker
+    count, and a warm cache replays a whole sweep without simulating a
+    single reference.
+
+    Determinism contract: [Job.execute] is a pure function of the spec,
+    [Pool.map] returns results in input order, and cached results are the
+    marshalled bytes of a previous execution — therefore the result array
+    is byte-for-byte independent of [jobs], of scheduling, and of which
+    entries were cache hits. *)
+
+(** [run ?cache ?progress ?jobs specs].  [jobs] defaults to
+    {!Pool.default_jobs}.  Failures propagate as in {!Pool.map}
+    (first exception re-raised after shutdown). *)
+val run :
+  ?cache:Cache.t ->
+  ?progress:Progress.t ->
+  ?jobs:int ->
+  Job.spec array ->
+  Job.result array
+
+(** Per-level counters summed over all results with the associative
+    [Stats.add] — totals independent of merge order.
+    @raise Invalid_argument when results span machines with different
+    level counts *)
+val merged_stats : Job.result array -> Mlc_cachesim.Stats.t list

@@ -1,0 +1,18 @@
+(** Fixed worker pool over OCaml 5 domains.
+
+    [map] runs [f] on every element using up to [jobs] domains fed from a
+    shared queue (an atomic next-index counter), and returns the results
+    {e in input order} — the merge is deterministic no matter how the
+    scheduler interleaved the workers.  If any call to [f] raises, the
+    remaining workers stop after their current element, every domain is
+    joined, and the first exception is re-raised with its backtrace: a
+    failing job fails the run instead of hanging it or leaking domains. *)
+
+(** [Domain.recommended_domain_count ()]. *)
+val default_jobs : unit -> int
+
+(** [map ~jobs f items] — [f] receives the worker index ([0..jobs-1],
+    worker 0 is the calling domain) for per-worker accounting; it must be
+    safe to call from multiple domains at once.  [jobs] defaults to
+    {!default_jobs} and is clamped to [1 .. length items]. *)
+val map : ?jobs:int -> (worker:int -> 'a -> 'b) -> 'a array -> 'b array

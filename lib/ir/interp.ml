@@ -5,6 +5,7 @@ type result = {
   misses : int list;
   miss_rates : float list;
   memory_accesses : int;
+  writebacks : int;
   flops : int;
   cycles : float;
   seconds : float;
@@ -105,8 +106,7 @@ let feed hierarchy layout program =
   done;
   !flops
 
-let run machine layout program =
-  let hierarchy = Cs.Machine.hierarchy machine in
+let run_on hierarchy machine layout program =
   let flops = feed hierarchy layout program in
   let total_refs = Cs.Hierarchy.total_refs hierarchy in
   let misses =
@@ -121,11 +121,15 @@ let run machine layout program =
     misses;
     miss_rates = Cs.Hierarchy.miss_rates hierarchy;
     memory_accesses = Cs.Hierarchy.memory_accesses hierarchy;
+    writebacks = Cs.Hierarchy.writebacks hierarchy;
     flops;
     cycles;
     seconds;
     mflops = Cs.Cost_model.mflops machine.Cs.Machine.cost ~flops hierarchy;
   }
+
+let run machine layout program =
+  run_on (Cs.Machine.hierarchy machine) machine layout program
 
 let trace layout program =
   let out = ref [] in

@@ -12,6 +12,7 @@ type result = {
   misses : int list;       (** per level, L1 first *)
   miss_rates : float list; (** per level, vs total refs (paper convention) *)
   memory_accesses : int;
+  writebacks : int;        (** dirty-line evictions, summed over levels *)
   flops : int;
   cycles : float;
   seconds : float;
@@ -21,6 +22,18 @@ type result = {
 (** [run machine layout program] simulates one full execution on a fresh
     hierarchy. *)
 val run : Mlc_cachesim.Machine.t -> Layout.t -> Program.t -> result
+
+(** [run_on hierarchy machine layout program] is {!run} against a
+    caller-created hierarchy — pass one built with non-default options
+    (write policy, prefetching, associativity overrides).  The hierarchy
+    must be fresh: its counters become the result.  The cost model still
+    comes from [machine]. *)
+val run_on :
+  Mlc_cachesim.Hierarchy.t ->
+  Mlc_cachesim.Machine.t ->
+  Layout.t ->
+  Program.t ->
+  result
 
 (** [feed hierarchy layout program] pushes the reference stream through an
     existing hierarchy (no cost model applied); returns flops executed. *)

@@ -89,5 +89,12 @@ let spec =
 
 let all = kernels @ nas @ spec
 
+let find_opt name =
+  List.find_opt
+    (fun e -> String.lowercase_ascii e.name = String.lowercase_ascii name)
+    all
+
 let find name =
-  List.find (fun e -> String.lowercase_ascii e.name = String.lowercase_ascii name) all
+  match find_opt name with
+  | Some e -> e
+  | None -> raise Not_found

@@ -25,4 +25,8 @@ val spec : entry list
 (** @raise Not_found *)
 val find : string -> entry
 
+(** Case-insensitive lookup by Table 1 name — the resolution step behind
+    the experiment engine's by-name job specs and cache keys. *)
+val find_opt : string -> entry option
+
 val category_name : category -> string
