@@ -52,6 +52,11 @@ let fast = ref false
 
 let jobs = ref (E.Pool.default_jobs ())
 
+(* Simulator backend for every submitted job (--backend).  Fast is the
+   default; the differential suite and the fastsim section hold the two
+   backends to identical results. *)
+let backend = ref `Fast
+
 let use_cache = ref true
 
 let cache_dir = ref None
@@ -62,7 +67,8 @@ let progress = ref None
 
 let submit specs =
   E.Engine.run ?cache:!cache ?progress:!progress ~jobs:!jobs
-    (Array.of_list specs)
+    (Array.of_list
+       (List.map (fun spec -> { spec with E.Job.backend = !backend }) specs))
 
 (* Adapter: engine results into the reporting helpers' outcome type. *)
 let outcome label (r : E.Job.result) =
@@ -858,6 +864,86 @@ let bechamel () =
     ]
 
 (* ----------------------------------------------------------------- *)
+(* fastsim: reference vs fast backend, cold, single worker            *)
+(* ----------------------------------------------------------------- *)
+
+(* Times the same cold job set on both backends (no cache, one domain,
+   both hierarchy levels in play), checks the results agree exactly, and
+   records the wall-clock ratio in BENCH_fastsim.json.  Wall-clock output
+   is nondeterministic, so like bechamel this section only runs when
+   asked for by name. *)
+let fastsim_json_path = "BENCH_fastsim.json"
+
+let fastsim () =
+  let n = if !fast then 256 else 512 in
+  let cases =
+    [
+      ("JACOBI512", L.Pipeline.Original);
+      ("JACOBI512", L.Pipeline.Grouppad_l1);
+      ("EXPL512", L.Pipeline.Original);
+      ("EXPL512", L.Pipeline.Grouppad_l1_l2);
+      ("SHAL512", L.Pipeline.Original);
+    ]
+  in
+  let specs be =
+    Array.of_list
+      (List.map
+         (fun (name, strat) ->
+           E.Job.simulate ~backend:be
+             ~machine:(E.Job.machine "ultrasparc")
+             ~layout:(strategy strat)
+             (E.Job.Registry { name; n = Some n }))
+         cases)
+  in
+  let time be =
+    let t0 = Unix.gettimeofday () in
+    let results = E.Engine.run ~jobs:1 (specs be) in
+    (Unix.gettimeofday () -. t0, results)
+  in
+  let t_ref, r_ref = time `Reference in
+  let t_fast, r_fast = time `Fast in
+  Array.iteri
+    (fun i (a : E.Job.result) ->
+      let b = r_fast.(i) in
+      if
+        not
+          (a.E.Job.interp = b.E.Job.interp
+          && List.for_all2 Cs.Stats.equal a.E.Job.level_stats
+               b.E.Job.level_stats)
+      then failwith ("fastsim: backend results differ on " ^ a.E.Job.key))
+    r_ref;
+  let speedup = if t_fast > 0.0 then t_ref /. t_fast else 0.0 in
+  L.Report.table
+    ~title:
+      (Printf.sprintf
+         "Fast backend vs reference (cold, 1 worker, ultrasparc, n=%d)" n)
+    ~columns:[ "backend"; "wall (s)"; "speedup" ]
+    [
+      [ "reference"; Printf.sprintf "%.2f" t_ref; "1.00x" ];
+      [ "fast"; Printf.sprintf "%.2f" t_fast; Printf.sprintf "%.2fx" speedup ];
+    ];
+  let total_refs =
+    Array.fold_left
+      (fun acc (r : E.Job.result) ->
+        acc + r.E.Job.interp.Mlc_ir.Interp.total_refs)
+      0 r_fast
+  in
+  let oc = open_out fastsim_json_path in
+  Printf.fprintf oc
+    "{\n  \"machine\": \"ultrasparc\",\n  \"jobs\": 1,\n  \"n\": %d,\n\
+    \  \"programs\": [%s],\n  \"total_refs\": %d,\n\
+    \  \"reference_wall_s\": %.3f,\n  \"fast_wall_s\": %.3f,\n\
+    \  \"speedup\": %.2f\n}\n"
+    n
+    (String.concat ", "
+       (List.map
+          (fun (name, strat) ->
+            Printf.sprintf "\"%s/%s\"" name (E.Job.strategy_tag strat))
+          cases))
+    total_refs t_ref t_fast speedup;
+  close_out oc;
+  Printf.eprintf "[fastsim: reference %.2fs, fast %.2fs, %.2fx -> %s]\n%!"
+    t_ref t_fast speedup fastsim_json_path
 
 let sections =
   [
@@ -871,17 +957,21 @@ let sections =
     ("predict", predict);
     ("ablation", ablation);
     ("bechamel", bechamel);
+    ("fastsim", fastsim);
   ]
 
-(* Bechamel measures real wall-clock time, so its output can never be
-   byte-identical across runs; it only runs when asked for by name. *)
+(* Bechamel and fastsim measure real wall-clock time, so their output can
+   never be byte-identical across runs; they only run when asked for by
+   name. *)
 let default_sections =
-  List.filter (fun (name, _) -> name <> "bechamel") sections
+  List.filter
+    (fun (name, _) -> name <> "bechamel" && name <> "fastsim")
+    sections
 
 let usage () =
   Printf.eprintf
     "usage: main.exe [fast] [--jobs N] [--no-cache] [--cache-dir DIR] \
-     [SECTION...]\nsections: %s\n"
+     [--backend fast|reference] [SECTION...]\nsections: %s\n"
     (String.concat ", " (List.map fst sections))
 
 let parse_args args =
@@ -908,6 +998,14 @@ let parse_args args =
         go rest
     | "--cache-dir" :: d :: rest ->
         cache_dir := Some d;
+        go rest
+    | "--backend" :: b :: rest ->
+        (match Mlc_ir.Interp.backend_of_string b with
+        | Some be -> backend := be
+        | None ->
+            Printf.eprintf "--backend expects fast or reference, got %S\n" b;
+            usage ();
+            exit 2);
         go rest
     | arg :: rest when String.length arg > 7 && String.sub arg 0 7 = "--jobs=" ->
         jobs := parse_jobs (String.sub arg 7 (String.length arg - 7));
@@ -944,6 +1042,8 @@ let dump_json section_times =
       let extra =
         [
           ("mode", if !fast then "\"fast\"" else "\"full\"");
+          ( "backend",
+            Printf.sprintf "\"%s\"" (Mlc_ir.Interp.backend_name !backend) );
           ("jobs", string_of_int !jobs);
           ("cache", string_of_bool !use_cache);
           ( "models_version",

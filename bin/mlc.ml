@@ -125,7 +125,15 @@ let sweep_cmd =
          & info [ "cache-dir" ] ~docv:"DIR"
              ~doc:"Cache directory (default _mlc_cache, or MLC_CACHE_DIR).")
   in
-  let run prog lo hi step strategies machine_name jobs no_cache cache_dir =
+  let backend_arg =
+    Arg.(value & opt string "fast"
+         & info [ "backend" ] ~docv:"B"
+             ~doc:"Simulator backend: $(b,fast) (default) or $(b,reference). \
+                   Both produce identical results; fast bulk-accounts \
+                   steady runs of L1 hits.")
+  in
+  let run prog lo hi step strategies machine_name jobs no_cache cache_dir
+      backend_name =
     let machine = machine_of machine_name in
     let strategies =
       String.split_on_char ',' strategies
@@ -143,6 +151,13 @@ let sweep_cmd =
     in
     if entry.K.Registry.build_sized = None then
       failwith (Printf.sprintf "%s has no size parameter" entry.K.Registry.name);
+    let backend =
+      match Mlc_ir.Interp.backend_of_string backend_name with
+      | Some b -> b
+      | None ->
+          failwith
+            (Printf.sprintf "unknown backend %s (fast|reference)" backend_name)
+    in
     let cache = if no_cache then None else Some (E.Cache.open_ ?dir:cache_dir ()) in
     let progress = E.Progress.create ~jobs () in
     let specs =
@@ -152,6 +167,7 @@ let sweep_cmd =
             (fun s ->
               E.Job.simulate
                 ~machine:(E.Job.machine machine_name)
+                ~backend
                 ~layout:(E.Job.Strategy s)
                 (E.Job.Registry { name = entry.K.Registry.name; n = Some n }))
             strategies)
@@ -199,7 +215,9 @@ let sweep_cmd =
     List.iteri
       (fun l s -> Format.printf "  L%d %a@." (l + 1) Cs.Stats.pp s)
       merged;
-    Format.printf
+    (* timing is nondeterministic; keep stdout byte-stable for a given
+       sweep (the golden test diffs it across jobs/cache/backend) *)
+    Format.eprintf
       "%d jobs (%d cache hits) in %.1fs, %.1f jobs/s, %d refs streamed@."
       (E.Progress.jobs_done progress)
       (E.Progress.cache_hits progress)
@@ -210,7 +228,7 @@ let sweep_cmd =
   let term =
     Term.(
       const run $ prog_arg $ lo_arg $ hi_arg $ step_arg $ strategies_arg
-      $ machine_arg $ jobs_arg $ no_cache_arg $ cache_dir_arg)
+      $ machine_arg $ jobs_arg $ no_cache_arg $ cache_dir_arg $ backend_arg)
   in
   Cmd.v
     (Cmd.info "sweep"

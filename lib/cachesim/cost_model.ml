@@ -10,43 +10,51 @@ let ultrasparc =
 let alpha21164 =
   { hit_cycles = [| 1.0; 5.0; 20.0 |]; memory_cycles = 80.0; clock_hz = 300.0e6 }
 
-let cycles t hierarchy =
-  let levels = Array.of_list (Hierarchy.levels hierarchy) in
-  let n = Array.length levels in
+let cycles_of_stats t stats_list =
+  let stats = Array.of_list stats_list in
+  let n = Array.length stats in
+  if n = 0 then invalid_arg "Cost_model.cycles_of_stats: no levels";
   if Array.length t.hit_cycles < n then
-    invalid_arg "Cost_model.cycles: model has fewer levels than hierarchy";
+    invalid_arg "Cost_model.cycles_of_stats: model has fewer levels than hierarchy";
   let total = ref 0.0 in
   for i = 0 to n - 1 do
-    let stats = Level.stats levels.(i) in
     (* Every access that reached level i pays level i's hit latency;
        the portion that missed pays deeper levels via their own access
        counts, and the last level's misses pay memory latency. *)
-    total := !total +. (float_of_int stats.Stats.accesses *. t.hit_cycles.(i))
+    total := !total +. (float_of_int stats.(i).Stats.accesses *. t.hit_cycles.(i))
   done;
-  let last = Level.stats levels.(n - 1) in
-  total := !total +. (float_of_int last.Stats.misses *. t.memory_cycles);
+  total := !total +. (float_of_int stats.(n - 1).Stats.misses *. t.memory_cycles);
   !total
 
-let breakdown t hierarchy =
-  let levels = Array.of_list (Hierarchy.levels hierarchy) in
-  let n = Array.length levels in
+let breakdown_of_stats t stats_list =
+  let stats = Array.of_list stats_list in
+  let n = Array.length stats in
+  if n = 0 then invalid_arg "Cost_model.breakdown_of_stats: no levels";
   if Array.length t.hit_cycles < n then
-    invalid_arg "Cost_model.breakdown: model has fewer levels than hierarchy";
+    invalid_arg "Cost_model.breakdown_of_stats: model has fewer levels than hierarchy";
   let per_level =
     List.init n (fun i ->
-        let stats = Level.stats levels.(i) in
         ( Printf.sprintf "L%d" (i + 1),
-          float_of_int stats.Stats.accesses *. t.hit_cycles.(i) ))
+          float_of_int stats.(i).Stats.accesses *. t.hit_cycles.(i) ))
   in
-  let last = Level.stats levels.(n - 1) in
   per_level
-  @ [ ("memory", float_of_int last.Stats.misses *. t.memory_cycles) ]
+  @ [ ("memory", float_of_int stats.(n - 1).Stats.misses *. t.memory_cycles) ]
 
-let seconds t hierarchy = cycles t hierarchy /. t.clock_hz
+let level_stats_of hierarchy = List.map Level.stats (Hierarchy.levels hierarchy)
 
-let mflops t ~flops hierarchy =
-  let s = seconds t hierarchy in
+let cycles t hierarchy = cycles_of_stats t (level_stats_of hierarchy)
+
+let breakdown t hierarchy = breakdown_of_stats t (level_stats_of hierarchy)
+
+let seconds_of_stats t stats_list = cycles_of_stats t stats_list /. t.clock_hz
+
+let seconds t hierarchy = seconds_of_stats t (level_stats_of hierarchy)
+
+let mflops_of_stats t ~flops stats_list =
+  let s = seconds_of_stats t stats_list in
   if s <= 0.0 then 0.0 else float_of_int flops /. s /. 1.0e6
+
+let mflops t ~flops hierarchy = mflops_of_stats t ~flops (level_stats_of hierarchy)
 
 let improvement ~orig ~opt =
   if orig = 0.0 then 0.0 else 100.0 *. (orig -. opt) /. orig

@@ -21,6 +21,19 @@ val ultrasparc : t
 (** Alpha-21164-flavoured three-level defaults. *)
 val alpha21164 : t
 
+(** [cycles_of_stats t stats] prices per-level counters directly (L1
+    first): each access recorded at level [i] pays [hit_cycles.(i)], and
+    the last level's misses pay [memory_cycles].  The hierarchy variants
+    below delegate here, so a [Fast_sim] backend handing over its
+    {!Stats.t} list prices identically to the reference path. *)
+val cycles_of_stats : t -> Stats.t list -> float
+
+val breakdown_of_stats : t -> Stats.t list -> (string * float) list
+
+val seconds_of_stats : t -> Stats.t list -> float
+
+val mflops_of_stats : t -> flops:int -> Stats.t list -> float
+
 (** [cycles t h] prices every access recorded in hierarchy [h]:
     each reference pays the L1 hit cost, each L1 miss additionally pays
     the L2 cost, and so on; last-level misses pay [memory_cycles]. *)

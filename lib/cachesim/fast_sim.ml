@@ -1,0 +1,565 @@
+(* Fast simulation backend.
+
+   Two pieces live here:
+
+   - an optimized replica of the reference cascade ([Hierarchy] over
+     [Level]): same filtered semantics (level i+1 only sees level i's
+     misses), same LRU tie-breaking, same write-allocate and dirty-line
+     accounting, so the per-level [Stats.t] match the reference path
+     exactly.  Speed comes from [block], which consumes a whole
+     innermost-loop iteration segment at once: as long as no reference
+     crosses an L1 line boundary and every referenced line is L1-resident,
+     the iterations are guaranteed hits that touch no lower level, so they
+     can be accounted in bulk with a single recency/dirty refresh.
+
+   - [Assoc_sweep], a single-pass per-set stack-distance analyzer: one
+     scan of a trace yields the LRU depth histogram for every set, from
+     which the full [Stats.t] of a w-way cache (same line size, same set
+     count) follows for every w at once.
+
+   Hardware prefetch is not modelled here; callers gate on it and fall
+   back to the reference path. *)
+
+type level = {
+  line_bits : int;
+  set_mask : int;
+  assoc : int;
+  (* tags.(set * assoc + way), -1 = empty; mirrors Level. *)
+  tags : int array;
+  last_use : int array;
+  dirty : bool array;
+  mutable clock : int;
+  stats : Stats.t;
+}
+
+type t = {
+  geoms : Level.geometry array;
+  write_allocate : bool;
+  levels : level array;
+  (* scratch for [block], grown on demand to the widest ref group seen *)
+  mutable cur : int array;
+  mutable slot : int array;
+  mutable rem : int array;
+}
+
+let is_pow2 n = n > 0 && n land (n - 1) = 0
+
+let log2 n =
+  let rec go acc n = if n <= 1 then acc else go (acc + 1) (n lsr 1) in
+  go 0 n
+
+let make_level (geom : Level.geometry) =
+  if not (is_pow2 geom.size) then invalid_arg "Fast_sim.create: size not a power of two";
+  if not (is_pow2 geom.line) then invalid_arg "Fast_sim.create: line not a power of two";
+  if geom.line > geom.size then invalid_arg "Fast_sim.create: line larger than cache";
+  if geom.assoc < 1 then invalid_arg "Fast_sim.create: associativity < 1";
+  let n_lines = geom.size / geom.line in
+  if n_lines mod geom.assoc <> 0 then
+    invalid_arg "Fast_sim.create: associativity does not divide line count";
+  let n_sets = n_lines / geom.assoc in
+  if not (is_pow2 n_sets) then invalid_arg "Fast_sim.create: set count not a power of two";
+  {
+    line_bits = log2 geom.line;
+    set_mask = n_sets - 1;
+    assoc = geom.assoc;
+    tags = Array.make n_lines (-1);
+    last_use = Array.make n_lines 0;
+    dirty = Array.make n_lines false;
+    clock = 0;
+    stats = Stats.create ();
+  }
+
+let create ?(write_allocate = true) geoms =
+  if geoms = [] then invalid_arg "Fast_sim.create: no levels";
+  {
+    geoms = Array.of_list geoms;
+    write_allocate;
+    levels = Array.of_list (List.map make_level geoms);
+    cur = [||];
+    slot = [||];
+    rem = [||];
+  }
+
+let n_levels t = Array.length t.levels
+
+let geometries t = Array.to_list t.geoms
+
+let level_stats t = Array.to_list (Array.map (fun l -> l.stats) t.levels)
+
+let total_refs t = t.levels.(0).stats.Stats.accesses
+
+let memory_accesses t = t.levels.(Array.length t.levels - 1).stats.Stats.misses
+
+let writebacks t =
+  Array.fold_left (fun acc l -> acc + l.stats.Stats.writebacks) 0 t.levels
+
+let miss_rates t =
+  let total = total_refs t in
+  Array.to_list
+    (Array.map (fun l -> Stats.miss_rate_vs ~total_refs:total l.stats) t.levels)
+
+let clear t =
+  Array.iter
+    (fun l ->
+      Array.fill l.tags 0 (Array.length l.tags) (-1);
+      Array.fill l.last_use 0 (Array.length l.last_use) 0;
+      Array.fill l.dirty 0 (Array.length l.dirty) false;
+      l.clock <- 0;
+      Stats.reset l.stats)
+    t.levels
+
+(* One access at one level; mirrors Level.access minus prefetch.
+   Returns whether it hit.  All indices below are masked (set <=
+   set_mask) or bounded by assoc, so unchecked array accesses are safe;
+   stats are bumped inline to keep this path allocation-free. *)
+let access_level ~write_allocate ~write l addr =
+  let line_addr = addr lsr l.line_bits in
+  let set = line_addr land l.set_mask in
+  let st = l.stats in
+  st.Stats.accesses <- st.Stats.accesses + 1;
+  if write then st.Stats.writes <- st.Stats.writes + 1;
+  if l.assoc = 1 then begin
+    (* Direct-mapped: no LRU state, so the clock can be skipped. *)
+    if Array.unsafe_get l.tags set = line_addr then begin
+      if write then Array.unsafe_set l.dirty set true;
+      st.Stats.hits <- st.Stats.hits + 1;
+      true
+    end
+    else begin
+      if (not write) || write_allocate then begin
+        if Array.unsafe_get l.tags set >= 0 && Array.unsafe_get l.dirty set then
+          st.Stats.writebacks <- st.Stats.writebacks + 1;
+        Array.unsafe_set l.tags set line_addr;
+        Array.unsafe_set l.dirty set write
+      end;
+      st.Stats.misses <- st.Stats.misses + 1;
+      false
+    end
+  end
+  else begin
+    l.clock <- l.clock + 1;
+    let assoc = l.assoc in
+    let base = set * assoc in
+    let rec find way =
+      if way = assoc then -1
+      else if Array.unsafe_get l.tags (base + way) = line_addr then way
+      else find (way + 1)
+    in
+    let way = find 0 in
+    if way >= 0 then begin
+      Array.unsafe_set l.last_use (base + way) l.clock;
+      if write then Array.unsafe_set l.dirty (base + way) true;
+      st.Stats.hits <- st.Stats.hits + 1;
+      true
+    end
+    else begin
+      if (not write) || write_allocate then begin
+        let victim = ref 0 in
+        for w = 1 to assoc - 1 do
+          if Array.unsafe_get l.last_use (base + w)
+             < Array.unsafe_get l.last_use (base + !victim)
+          then victim := w
+        done;
+        let slot = base + !victim in
+        if Array.unsafe_get l.tags slot >= 0 && Array.unsafe_get l.dirty slot then
+          st.Stats.writebacks <- st.Stats.writebacks + 1;
+        Array.unsafe_set l.tags slot line_addr;
+        Array.unsafe_set l.dirty slot write;
+        Array.unsafe_set l.last_use slot l.clock
+      end;
+      st.Stats.misses <- st.Stats.misses + 1;
+      false
+    end
+  end
+
+(* Closure-free cascade: level [i] only sees the miss stream of [i-1]. *)
+let rec cascade t write i n addr =
+  if i = n then n
+  else if access_level ~write_allocate:t.write_allocate ~write t.levels.(i) addr
+  then i
+  else cascade t write (i + 1) n addr
+
+let access t ?(write = false) addr = cascade t write 0 (Array.length t.levels) addr
+
+(* Slot of [addr]'s line at level [l], or -1 when not resident. *)
+let find_slot l addr =
+  let line_addr = addr lsr l.line_bits in
+  let set = line_addr land l.set_mask in
+  if l.assoc = 1 then (if l.tags.(set) = line_addr then set else -1)
+  else begin
+    let base = set * l.assoc in
+    let rec go way =
+      if way = l.assoc then -1
+      else if l.tags.(base + way) = line_addr then base + way
+      else go (way + 1)
+    in
+    go 0
+  end
+
+let ensure_scratch t n =
+  if Array.length t.cur < n then begin
+    t.cur <- Array.make n 0;
+    t.slot <- Array.make n 0;
+    t.rem <- Array.make n 0
+  end
+
+(* [block] pushes [count] iterations of an innermost loop through the
+   hierarchy: iteration j issues, for each ref r in order,
+   [bases.(r) + j * strides.(r)] (a write iff [writes.(r)]).
+
+   The exactness argument both variants rely on: while every reference
+   hits L1, lower levels see nothing and no line is installed or evicted,
+   so such iterations change no tag state — only counters, dirty bits
+   (idempotent: any write during the run leaves the line dirty before the
+   next possible eviction) and, for associative L1s, LRU recency. *)
+
+(* Direct-mapped L1 (the paper's machines): no recency state at all, so a
+   steady all-hit phase needs nothing but counting.  Per reference we
+   track [rem], the number of iterations (current included) it stays on
+   its current line — pure address geometry; the phase advances by the
+   minimum and re-probes only the references that crossed a line
+   boundary, since nothing was installed, so the others cannot have been
+   evicted.  Crossed refs are committed in two phases (check residency of
+   all, then update), so a miss exits the phase before any dirty bit of
+   an unsimulated iteration is set.  Iterations with a missing line run
+   sequentially in reference order with the L1 hit check inlined; only
+   actually-missing refs enter the cascade (whose installs can evict a
+   later ref's line, hence the per-ref re-check at its turn).  Inline
+   hits carry no per-access counter updates at all: they are recovered at
+   the end as (iterations * nrefs) - (cascaded accesses).
+
+   Unchecked array accesses: sets are masked by [set_mask]; scratch
+   indices are < nrefs, and [block] validated the input array lengths. *)
+let block_dm t l1 ~bases ~strides ~writes ~count =
+  let nrefs = Array.length bases in
+  ensure_scratch t nrefs;
+  let cur = t.cur and rem = t.rem and slot = t.slot in
+  Array.blit bases 0 cur 0 nrefs;
+  let line_bits = l1.line_bits and set_mask = l1.set_mask in
+  let tags = l1.tags and dirty = l1.dirty in
+  let line_mask = (1 lsl line_bits) - 1 in
+  let line = line_mask + 1 in
+  let cross_dist a s =
+    if s = 0 then max_int
+    else if s >= line || -s >= line then 1
+    else if s > 0 then (line - (a land line_mask) + s - 1) / s
+    else ((a land line_mask) / -s) + 1
+  in
+  let nwrites = ref 0 in
+  for r = 0 to nrefs - 1 do
+    if writes.(r) then incr nwrites
+  done;
+  let nwrites = !nwrites in
+  let n = Array.length t.levels in
+  let bulk_iters = ref 0 in
+  let seq_iters = ref 0 in
+  let ncasc = ref 0 in
+  let ncasc_w = ref 0 in
+  let i = ref 0 in
+  while !i < count do
+    (* is iteration !i an all-hit iteration? *)
+    let all = ref true in
+    for r = 0 to nrefs - 1 do
+      let la = Array.unsafe_get cur r lsr line_bits in
+      if Array.unsafe_get tags (la land set_mask) <> la then all := false
+    done;
+    if !all then begin
+      (* steady all-hit phase *)
+      for r = 0 to nrefs - 1 do
+        let a = Array.unsafe_get cur r in
+        if Array.unsafe_get writes r then begin
+          let la = a lsr line_bits in
+          Array.unsafe_set dirty (la land set_mask) true
+        end;
+        Array.unsafe_set rem r (cross_dist a (Array.unsafe_get strides r))
+      done;
+      let steady = ref true in
+      while !steady && !i < count do
+        let k = ref (count - !i) in
+        for r = 0 to nrefs - 1 do
+          let rr = Array.unsafe_get rem r in
+          if rr < !k then k := rr
+        done;
+        let k = !k in
+        bulk_iters := !bulk_iters + k;
+        i := !i + k;
+        for r = 0 to nrefs - 1 do
+          Array.unsafe_set rem r (Array.unsafe_get rem r - k);
+          Array.unsafe_set cur r
+            (Array.unsafe_get cur r + (k * Array.unsafe_get strides r))
+        done;
+        if !i < count then begin
+          (* crossed refs (rem = 0) moved onto unverified lines *)
+          let ok = ref true in
+          let nc = ref 0 in
+          for r = 0 to nrefs - 1 do
+            if Array.unsafe_get rem r = 0 then begin
+              let la = Array.unsafe_get cur r lsr line_bits in
+              if Array.unsafe_get tags (la land set_mask) <> la then ok := false;
+              Array.unsafe_set slot !nc r;
+              incr nc
+            end
+          done;
+          let ok = !ok in
+          for j = 0 to !nc - 1 do
+            let r = Array.unsafe_get slot j in
+            let a = Array.unsafe_get cur r in
+            if ok && Array.unsafe_get writes r then begin
+              let la = a lsr line_bits in
+              Array.unsafe_set dirty (la land set_mask) true
+            end;
+            Array.unsafe_set rem r (cross_dist a (Array.unsafe_get strides r))
+          done;
+          if not ok then steady := false
+        end
+      done
+    end
+    else begin
+      (* sequential phase: whole iterations until one is all-hit again *)
+      let had_miss = ref true in
+      while !had_miss && !i < count do
+        had_miss := false;
+        for r = 0 to nrefs - 1 do
+          let a = Array.unsafe_get cur r in
+          let la = a lsr line_bits in
+          let set = la land set_mask in
+          let w = Array.unsafe_get writes r in
+          if Array.unsafe_get tags set = la then begin
+            if w then Array.unsafe_set dirty set true
+          end
+          else begin
+            had_miss := true;
+            incr ncasc;
+            if w then incr ncasc_w;
+            ignore (cascade t w 0 n a)
+          end;
+          Array.unsafe_set cur r (a + Array.unsafe_get strides r)
+        done;
+        incr seq_iters;
+        incr i
+      done
+    end
+  done;
+  let st = l1.stats in
+  let inline_hits = ((!bulk_iters + !seq_iters) * nrefs) - !ncasc in
+  let inline_writes = ((!bulk_iters + !seq_iters) * nwrites) - !ncasc_w in
+  st.Stats.accesses <- st.Stats.accesses + inline_hits;
+  st.Stats.hits <- st.Stats.hits + inline_hits;
+  st.Stats.writes <- st.Stats.writes + inline_writes
+
+(* Associative L1: segments bounded by the next line crossing of any ref.
+   If every ref's line is resident the whole segment is hits and is
+   accounted in bulk; recency then needs one refresh — touching each
+   ref's line once, in ref order, with fresh clock values reproduces the
+   relative last-use order the per-access path would leave, and only the
+   relative order feeds LRU victim selection. *)
+let block_assoc t l1 ~bases ~strides ~writes ~count =
+  let nrefs = Array.length bases in
+  ensure_scratch t nrefs;
+  let line_mask = (1 lsl l1.line_bits) - 1 in
+  let line = line_mask + 1 in
+  let cur = t.cur and slot = t.slot in
+  Array.blit bases 0 cur 0 nrefs;
+  let probe () =
+    let ok = ref true in
+    let r = ref 0 in
+    while !ok && !r < nrefs do
+      let s = find_slot l1 cur.(!r) in
+      slot.(!r) <- s;
+      if s < 0 then ok := false else incr r
+    done;
+    !ok
+  in
+  let bulk k =
+    let st = l1.stats in
+    st.Stats.accesses <- st.Stats.accesses + (k * nrefs);
+    st.Stats.hits <- st.Stats.hits + (k * nrefs);
+    for r = 0 to nrefs - 1 do
+      if writes.(r) then begin
+        st.Stats.writes <- st.Stats.writes + k;
+        l1.dirty.(slot.(r)) <- true
+      end;
+      l1.clock <- l1.clock + 1;
+      l1.last_use.(slot.(r)) <- l1.clock
+    done
+  in
+  let n = Array.length t.levels in
+  let one_iteration () =
+    for r = 0 to nrefs - 1 do
+      ignore (cascade t writes.(r) 0 n cur.(r))
+    done
+  in
+  let advance k =
+    for r = 0 to nrefs - 1 do
+      cur.(r) <- cur.(r) + (k * strides.(r))
+    done
+  in
+  let i = ref 0 in
+  while !i < count do
+    let left = count - !i in
+    (* iterations until some ref leaves its current L1 line *)
+    let k = ref left in
+    for r = 0 to nrefs - 1 do
+      let s = strides.(r) in
+      if s > 0 then begin
+        let c = (line - (cur.(r) land line_mask) + s - 1) / s in
+        if c < !k then k := c
+      end
+      else if s < 0 then begin
+        let c = ((cur.(r) land line_mask) / -s) + 1 in
+        if c < !k then k := c
+      end
+    done;
+    let k = !k in
+    if probe () then begin
+      bulk k;
+      advance k;
+      i := !i + k
+    end
+    else begin
+      one_iteration ();
+      advance 1;
+      incr i;
+      if k > 1 then begin
+        if probe () then begin
+          bulk (k - 1);
+          advance (k - 1);
+          i := !i + (k - 1)
+        end
+        else
+          (* conflicting or non-allocated lines: no steady state within
+             this segment, replay it access by access *)
+          for _ = 2 to k do
+            one_iteration ();
+            advance 1;
+            incr i
+          done
+      end
+    end
+  done
+
+let block t ~bases ~strides ~writes ~count =
+  let nrefs = Array.length bases in
+  if Array.length strides <> nrefs || Array.length writes <> nrefs then
+    invalid_arg "Fast_sim.block: bases/strides/writes length mismatch";
+  if nrefs > 0 && count > 0 then begin
+    let l1 = t.levels.(0) in
+    if l1.assoc = 1 then block_dm t l1 ~bases ~strides ~writes ~count
+    else block_assoc t l1 ~bases ~strides ~writes ~count
+  end
+
+let replay t trace = Array.iter (fun addr -> ignore (access t addr)) trace
+
+let replay_compact t (runs : Trace.compact) =
+  let bases = [| 0 |] and strides = [| 0 |] and writes = [| false |] in
+  Array.iter
+    (fun (r : Trace.run) ->
+      bases.(0) <- r.Trace.base;
+      strides.(0) <- r.Trace.stride;
+      block t ~bases ~strides ~writes ~count:r.Trace.count)
+    runs
+
+(* --- single-pass per-set stack distances ------------------------------- *)
+
+module Assoc_sweep = struct
+  type sweep = {
+    line : int;
+    n_sets : int;
+    line_bits : int;
+    set_mask : int;
+    mutable total : int;
+    mutable write_total : int;
+    mutable cold : int;
+    (* per-set recency list, most recent first; scanning for a line's
+       position yields its per-set LRU stack distance.  Amortized cost is
+       bounded by the depth distribution, which caches of interest keep
+       shallow. *)
+    recency : int list array;
+    mutable hist : int array;
+  }
+
+  let create ~line ~n_sets =
+    if not (is_pow2 line) then invalid_arg "Assoc_sweep.create: line not a power of two";
+    if not (is_pow2 n_sets) then
+      invalid_arg "Assoc_sweep.create: set count not a power of two";
+    {
+      line;
+      n_sets;
+      line_bits = log2 line;
+      set_mask = n_sets - 1;
+      total = 0;
+      write_total = 0;
+      cold = 0;
+      recency = Array.make n_sets [];
+      hist = Array.make 16 0;
+    }
+
+  let grow_hist t depth =
+    if depth >= Array.length t.hist then begin
+      let bigger = Array.make (max (depth + 1) (2 * Array.length t.hist)) 0 in
+      Array.blit t.hist 0 bigger 0 (Array.length t.hist);
+      t.hist <- bigger
+    end
+
+  let touch ?(write = false) t addr =
+    let line_addr = addr lsr t.line_bits in
+    let set = line_addr land t.set_mask in
+    t.total <- t.total + 1;
+    if write then t.write_total <- t.write_total + 1;
+    let rec split acc depth = function
+      | [] -> None
+      | x :: rest when x = line_addr -> Some (depth, List.rev_append acc rest)
+      | x :: rest -> split (x :: acc) (depth + 1) rest
+    in
+    match split [] 0 t.recency.(set) with
+    | Some (depth, rest) ->
+        t.recency.(set) <- line_addr :: rest;
+        grow_hist t depth;
+        t.hist.(depth) <- t.hist.(depth) + 1
+    | None ->
+        t.cold <- t.cold + 1;
+        t.recency.(set) <- line_addr :: t.recency.(set)
+
+  let analyze ?writes ~line ~n_sets trace =
+    let t = create ~line ~n_sets in
+    (match writes with
+    | None -> Array.iter (fun addr -> touch t addr) trace
+    | Some w ->
+        if Array.length w <> Array.length trace then
+          invalid_arg "Assoc_sweep.analyze: writes length mismatch";
+        Array.iteri (fun i addr -> touch ~write:w.(i) t addr) trace);
+    t
+
+  let total t = t.total
+
+  let cold t = t.cold
+
+  let histogram t = Array.copy t.hist
+
+  let hits_at t ~assoc =
+    let n = min assoc (Array.length t.hist) in
+    let sum = ref 0 in
+    for d = 0 to n - 1 do
+      sum := !sum + t.hist.(d)
+    done;
+    !sum
+
+  let misses_at t ~assoc = t.total - hits_at t ~assoc
+
+  (* Stats of a write-allocate LRU cache with [assoc] ways over the same
+     line size and set count, fed the full stream: an access hits iff its
+     per-set depth is < assoc.  Writebacks are not derivable from depths
+     alone (they depend on which victim was dirty) and are reported as 0. *)
+  let stats_at t ~assoc : Stats.t =
+    let hits = hits_at t ~assoc in
+    {
+      Stats.accesses = t.total;
+      hits;
+      misses = t.total - hits;
+      writes = t.write_total;
+      writebacks = 0;
+    }
+
+  let geometry_at t ~assoc : Level.geometry =
+    { Level.size = t.line * t.n_sets * assoc; line = t.line; assoc }
+end

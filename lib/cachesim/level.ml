@@ -22,7 +22,6 @@ type t = {
      demand hit re-arms the next-line prefetch *)
   prefetched : bool array;
   mutable clock : int;
-  mutable writebacks : int;
   stats : Stats.t;
 }
 
@@ -54,7 +53,6 @@ let create ?(write_allocate = true) ?(prefetch_next_line = false) geom =
     dirty = Array.make n_lines false;
     prefetched = Array.make n_lines false;
     clock = 0;
-    writebacks = 0;
     stats = Stats.create ();
   }
 
@@ -62,12 +60,12 @@ let geometry t = t.geom
 
 let stats t = t.stats
 
-let writebacks t = t.writebacks
+let writebacks t = t.stats.Stats.writebacks
 
 let n_sets t = t.n_sets
 
 let install ?(prefetch = false) t slot line_addr ~write =
-  if t.tags.(slot) >= 0 && t.dirty.(slot) then t.writebacks <- t.writebacks + 1;
+  if t.tags.(slot) >= 0 && t.dirty.(slot) then Stats.record_writeback t.stats;
   t.tags.(slot) <- line_addr;
   t.dirty.(slot) <- write;
   t.prefetched.(slot) <- prefetch;
@@ -116,7 +114,7 @@ let access t ?(write = false) addr =
       if (not write) || t.write_allocate then install t set line_addr ~write;
       if t.prefetch_next_line then install_line t (line_addr + 1)
     end;
-    Stats.record t.stats ~hit;
+    Stats.record ~write t.stats ~hit;
     hit
   end
   else begin
@@ -133,7 +131,7 @@ let access t ?(write = false) addr =
         t.prefetched.(base + way) <- false;
         install_line t (line_addr + 1)
       end;
-      Stats.record t.stats ~hit:true;
+      Stats.record ~write t.stats ~hit:true;
       true
     end
     else begin
@@ -147,7 +145,7 @@ let access t ?(write = false) addr =
         install t (base + !victim) line_addr ~write
       end;
       if t.prefetch_next_line then install_line t (line_addr + 1);
-      Stats.record t.stats ~hit:false;
+      Stats.record ~write t.stats ~hit:false;
       false
     end
   end
@@ -163,5 +161,4 @@ let clear t =
   Array.fill t.dirty 0 (Array.length t.dirty) false;
   Array.fill t.prefetched 0 (Array.length t.prefetched) false;
   t.clock <- 0;
-  t.writebacks <- 0;
   Stats.reset t.stats

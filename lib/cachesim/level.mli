@@ -27,7 +27,9 @@ val geometry : t -> geometry
 
 val stats : t -> Stats.t
 
-(** Dirty evictions so far (write-back traffic to the next level). *)
+(** Dirty evictions so far (write-back traffic to the next level).
+    Equal to [(stats t).Stats.writebacks]; kept distinct from write
+    misses, which land in [Stats.misses]/[Stats.writes]. *)
 val writebacks : t -> int
 
 (** [access t ?write addr] touches the line containing byte [addr],

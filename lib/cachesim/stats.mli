@@ -4,12 +4,20 @@
     number of memory references issued by the program ("L2 misses are
     normalized to L1 misses"), not relative to the number of accesses that
     reached that level.  [miss_rate_vs ~total_refs] implements that
-    convention; [local_miss_rate] is the conventional per-level rate. *)
+    convention; [local_miss_rate] is the conventional per-level rate.
+
+    Write traffic is tracked on two distinct axes that earlier versions
+    conflated: [writes] counts write {e accesses} that reached the level
+    (hits and misses alike), while [writebacks] counts dirty-line
+    {e evictions} — the write-back traffic the level sends toward the next
+    level.  A write miss is not a writeback and vice versa. *)
 
 type t = {
   mutable accesses : int;  (** references that reached this level *)
   mutable hits : int;
   mutable misses : int;
+  mutable writes : int;      (** write accesses that reached this level *)
+  mutable writebacks : int;  (** dirty-line evictions at this level *)
 }
 
 val create : unit -> t
@@ -27,7 +35,12 @@ val equal : t -> t -> bool
 
 val reset : t -> unit
 
-val record : t -> hit:bool -> unit
+(** [record ?write t ~hit] counts one access; [write] (default false)
+    additionally bumps the write counter. *)
+val record : ?write:bool -> t -> hit:bool -> unit
+
+(** Count one dirty-line eviction. *)
+val record_writeback : t -> unit
 
 (** [miss_rate_vs ~total_refs t] is misses / total_refs (in [0, 1]);
     0 when [total_refs] is 0. *)

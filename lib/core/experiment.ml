@@ -6,12 +6,12 @@ type outcome = {
   result : Interp.result;
 }
 
-let run machine ~label layout program =
-  { label; result = Interp.run machine layout program }
+let run ?backend machine ~label layout program =
+  { label; result = Interp.run ?backend machine layout program }
 
-let run_strategy machine strategy program =
+let run_strategy ?backend machine strategy program =
   let layout = Pipeline.layout_for machine strategy program in
-  run machine ~label:(Pipeline.strategy_name strategy) layout program
+  run ?backend machine ~label:(Pipeline.strategy_name strategy) layout program
 
 let time_improvement ~baseline outcome =
   Cs.Cost_model.improvement ~orig:baseline.result.Interp.cycles

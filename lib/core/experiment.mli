@@ -8,11 +8,23 @@ type outcome = {
   result : Interp.result;
 }
 
-(** Simulate one (layout, program) version. *)
-val run : Cs.Machine.t -> label:string -> Layout.t -> Program.t -> outcome
+(** Simulate one (layout, program) version ([backend] defaults to the
+    reference cascade; see {!Interp.backend}). *)
+val run :
+  ?backend:Interp.backend ->
+  Cs.Machine.t ->
+  label:string ->
+  Layout.t ->
+  Program.t ->
+  outcome
 
 (** Simulate a pipeline strategy. *)
-val run_strategy : Cs.Machine.t -> Pipeline.strategy -> Program.t -> outcome
+val run_strategy :
+  ?backend:Interp.backend ->
+  Cs.Machine.t ->
+  Pipeline.strategy ->
+  Program.t ->
+  outcome
 
 (** Execution-time improvement (percent, positive = faster) of [opt]
     over [baseline] under the machine's cost model. *)

@@ -43,11 +43,12 @@ type spec = {
   machine : machine_spec;
   predict : bool;
   count : (layout_spec * count_target) option;
+  backend : Interp.backend;
 }
 
 let simulate ?(machine = machine "ultrasparc") ?(predict = false) ?count
-    ~layout program =
-  { program; layout; machine; predict; count }
+    ?(backend = `Fast) ~layout program =
+  { program; layout; machine; predict; count; backend }
 
 (* ----------------------------------------------------------------- *)
 (* Canonical serialization (the cache-key input)                      *)
@@ -99,7 +100,7 @@ let count_target_string = function
   | Largest_body -> "largest_body"
 
 let canonical spec =
-  Printf.sprintf "program=%s|layout=%s|machine=%s|predict=%b|count=%s"
+  Printf.sprintf "program=%s|layout=%s|machine=%s|predict=%b|count=%s|backend=%s"
     (program_string spec.program)
     (layout_string spec.layout)
     (machine_string spec.machine)
@@ -108,6 +109,7 @@ let canonical spec =
     | None -> "-"
     | Some (l, t) ->
         Printf.sprintf "%s@%s" (count_target_string t) (layout_string l))
+    (Interp.backend_name spec.backend)
 
 let describe spec = program_string spec.program ^ "/" ^ layout_string spec.layout
 
@@ -193,20 +195,37 @@ let execute spec =
   let machine_t = build_machine spec.machine in
   let program = build_program spec.program in
   let layout = build_layout machine_t spec.layout program in
-  let hierarchy =
-    Cs.Hierarchy.create
-      ?write_allocate:spec.machine.write_allocate
-      ~prefetch_levels:spec.machine.prefetch_levels
-      machine_t.Cs.Machine.geometries
-  in
-  let interp = Interp.run_on hierarchy machine_t layout program in
-  let level_stats =
-    List.map
-      (fun level -> Cs.Stats.add (Cs.Stats.zero ()) (Cs.Level.stats level))
-      (Cs.Hierarchy.levels hierarchy)
-  in
-  let cost_breakdown =
-    Cs.Cost_model.breakdown machine_t.Cs.Machine.cost hierarchy
+  (* Fast_sim does not model next-line prefetch; such specs silently run
+     on the reference cascade (the two backends agree everywhere else, so
+     this only costs time, never accuracy). *)
+  let use_fast = spec.backend = `Fast && spec.machine.prefetch_levels = [] in
+  let interp, level_stats, cost_breakdown =
+    if use_fast then begin
+      let sim =
+        Cs.Fast_sim.create
+          ?write_allocate:spec.machine.write_allocate
+          machine_t.Cs.Machine.geometries
+      in
+      let interp = Interp.run_sim sim machine_t layout program in
+      let live = Cs.Fast_sim.level_stats sim in
+      ( interp,
+        List.map (fun s -> Cs.Stats.add (Cs.Stats.zero ()) s) live,
+        Cs.Cost_model.breakdown_of_stats machine_t.Cs.Machine.cost live )
+    end
+    else begin
+      let hierarchy =
+        Cs.Hierarchy.create
+          ?write_allocate:spec.machine.write_allocate
+          ~prefetch_levels:spec.machine.prefetch_levels
+          machine_t.Cs.Machine.geometries
+      in
+      let interp = Interp.run_on hierarchy machine_t layout program in
+      ( interp,
+        List.map
+          (fun level -> Cs.Stats.add (Cs.Stats.zero ()) (Cs.Level.stats level))
+          (Cs.Hierarchy.levels hierarchy),
+        Cs.Cost_model.breakdown machine_t.Cs.Machine.cost hierarchy )
+    end
   in
   let predicted =
     if spec.predict then

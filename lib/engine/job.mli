@@ -63,13 +63,20 @@ type spec = {
   count : (layout_spec * count_target) option;
       (** also run [Fusion_model.count] — under its own layout, as
           Figure 12 counts under GROUPPAD while simulating L2MAXPAD *)
+  backend : Interp.backend;
+      (** which simulator runs the job.  Part of the cache key, so warm
+          results never cross backends.  [`Fast] specs with
+          [prefetch_levels] fall back to the reference cascade at
+          execution time (Fast_sim does not model prefetch). *)
 }
 
-(** Spec constructor with the common defaults (ultrasparc, no extras). *)
+(** Spec constructor with the common defaults (ultrasparc, fast backend,
+    no extras). *)
 val simulate :
   ?machine:machine_spec ->
   ?predict:bool ->
   ?count:layout_spec * count_target ->
+  ?backend:Interp.backend ->
   layout:layout_spec ->
   program_spec ->
   spec

@@ -106,6 +106,138 @@ let feed hierarchy layout program =
   done;
   !flops
 
+(* Fast-backend twin of [feed_nest]: the outer levels walk the same
+   partial-address matrix, but the whole innermost loop is handed to
+   [Fast_sim.block] as (base, stride, count) per reference, letting the
+   simulator account steady runs of L1 hits in bulk.  Gather subscripts
+   (and zero-depth bodies) fall back to per-access feeding, which is
+   still exact — just not bulked. *)
+let feed_nest_fast sim layout nest =
+  let loops = Array.of_list nest.Nest.loops in
+  let depth = Array.length loops in
+  let var_level = Hashtbl.create 8 in
+  Array.iteri (fun i l -> Hashtbl.replace var_level l.Loop.var i) loops;
+  let body_refs = List.concat_map (fun s -> s.Stmt.refs) nest.Nest.body in
+  let crefs =
+    body_refs
+    |> List.map (compile_ref layout ~var_level ~depth)
+    |> Array.of_list
+  in
+  let is_write = Array.of_list (List.map Ref_.is_write body_refs) in
+  let nrefs = Array.length crefs in
+  let flops_per_iter =
+    List.fold_left (fun acc s -> acc + s.Stmt.flops) 0 nest.Nest.body
+  in
+  let partials = Array.make_matrix (depth + 1) nrefs 0 in
+  Array.iteri
+    (fun r cref ->
+      match cref with
+      | Linear { base; _ } -> partials.(0).(r) <- base
+      | Slow _ -> ())
+    crefs;
+  let ivs = Array.make depth 0 in
+  let env v =
+    match Hashtbl.find_opt var_level v with
+    | Some level -> ivs.(level)
+    | None -> invalid_arg ("Interp: unbound variable " ^ v)
+  in
+  let flops = ref 0 in
+  let all_linear =
+    Array.for_all (function Linear _ -> true | Slow _ -> false) crefs
+  in
+  let iter_outer ~leaf =
+    let rec go level =
+      if level = depth then leaf ()
+      else begin
+        let loop = loops.(level) in
+        let cur = partials.(level) in
+        let next = partials.(level + 1) in
+        Loop.iter env loop (fun iv ->
+            ivs.(level) <- iv;
+            for r = 0 to nrefs - 1 do
+              let stride =
+                match crefs.(r) with
+                | Linear { strides; _ } -> strides.(level)
+                | Slow _ -> 0
+              in
+              next.(r) <- cur.(r) + (stride * iv)
+            done;
+            go (level + 1))
+      end
+    in
+    go
+  in
+  if all_linear && depth >= 1 then begin
+    let inner = depth - 1 in
+    let inner_loop = loops.(inner) in
+    let strides_inner =
+      Array.map
+        (function Linear { strides; _ } -> strides.(inner) | Slow _ -> 0)
+        crefs
+    in
+    let block_strides =
+      Array.map (fun s -> s * inner_loop.Loop.step) strides_inner
+    in
+    let bases = Array.make nrefs 0 in
+    let rec go level =
+      if level = inner then begin
+        let count = Loop.trip_count env inner_loop in
+        if count > 0 then begin
+          let lo = Loop.effective_lo env inner_loop in
+          let cur = partials.(inner) in
+          for r = 0 to nrefs - 1 do
+            bases.(r) <- cur.(r) + (strides_inner.(r) * lo)
+          done;
+          Cs.Fast_sim.block sim ~bases ~strides:block_strides ~writes:is_write
+            ~count;
+          flops := !flops + (flops_per_iter * count)
+        end
+      end
+      else begin
+        let loop = loops.(level) in
+        let cur = partials.(level) in
+        let next = partials.(level + 1) in
+        Loop.iter env loop (fun iv ->
+            ivs.(level) <- iv;
+            for r = 0 to nrefs - 1 do
+              let stride =
+                match crefs.(r) with
+                | Linear { strides; _ } -> strides.(level)
+                | Slow _ -> 0
+              in
+              next.(r) <- cur.(r) + (stride * iv)
+            done;
+            go (level + 1))
+      end
+    in
+    go 0
+  end
+  else begin
+    let leaf () =
+      let addrs = partials.(depth) in
+      for r = 0 to nrefs - 1 do
+        let addr =
+          match crefs.(r) with
+          | Linear _ -> addrs.(r)
+          | Slow ref_ -> Layout.address_of_ref layout env ref_
+        in
+        ignore (Cs.Fast_sim.access sim ~write:is_write.(r) addr)
+      done;
+      flops := !flops + flops_per_iter
+    in
+    iter_outer ~leaf 0
+  end;
+  !flops
+
+let feed_fast sim layout program =
+  let flops = ref 0 in
+  for _step = 1 to program.Program.time_steps do
+    List.iter
+      (fun nest -> flops := !flops + feed_nest_fast sim layout nest)
+      program.Program.nests
+  done;
+  !flops
+
 let run_on hierarchy machine layout program =
   let flops = feed hierarchy layout program in
   let total_refs = Cs.Hierarchy.total_refs hierarchy in
@@ -128,8 +260,38 @@ let run_on hierarchy machine layout program =
     mflops = Cs.Cost_model.mflops machine.Cs.Machine.cost ~flops hierarchy;
   }
 
-let run machine layout program =
-  run_on (Cs.Machine.hierarchy machine) machine layout program
+let run_sim sim machine layout program =
+  let flops = feed_fast sim layout program in
+  let stats = Cs.Fast_sim.level_stats sim in
+  let cost = machine.Cs.Machine.cost in
+  {
+    total_refs = Cs.Fast_sim.total_refs sim;
+    misses = List.map (fun s -> s.Cs.Stats.misses) stats;
+    miss_rates = Cs.Fast_sim.miss_rates sim;
+    memory_accesses = Cs.Fast_sim.memory_accesses sim;
+    writebacks = Cs.Fast_sim.writebacks sim;
+    flops;
+    cycles = Cs.Cost_model.cycles_of_stats cost stats;
+    seconds = Cs.Cost_model.seconds_of_stats cost stats;
+    mflops = Cs.Cost_model.mflops_of_stats cost ~flops stats;
+  }
+
+type backend = [ `Reference | `Fast ]
+
+let backend_name = function `Reference -> "reference" | `Fast -> "fast"
+
+let backend_of_string = function
+  | "reference" -> Some `Reference
+  | "fast" -> Some `Fast
+  | _ -> None
+
+let run ?(backend = `Reference) machine layout program =
+  match backend with
+  | `Reference -> run_on (Cs.Machine.hierarchy machine) machine layout program
+  | `Fast ->
+      run_sim
+        (Cs.Fast_sim.create machine.Cs.Machine.geometries)
+        machine layout program
 
 let trace layout program =
   let out = ref [] in

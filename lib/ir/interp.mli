@@ -19,9 +19,23 @@ type result = {
   mflops : float;
 }
 
-(** [run machine layout program] simulates one full execution on a fresh
-    hierarchy. *)
-val run : Mlc_cachesim.Machine.t -> Layout.t -> Program.t -> result
+(** Which simulator executes the reference stream.  [`Reference] walks
+    the {!Mlc_cachesim.Hierarchy} cascade access by access; [`Fast] uses
+    {!Mlc_cachesim.Fast_sim}, which bulk-accounts steady runs of L1 hits.
+    The two produce identical results for any machine without hardware
+    prefetching (the differential test suite enforces this); [`Fast] does
+    not model prefetch, so callers with [prefetch_levels] must use
+    [`Reference]. *)
+type backend = [ `Reference | `Fast ]
+
+val backend_name : backend -> string
+
+val backend_of_string : string -> backend option
+
+(** [run ?backend machine layout program] simulates one full execution on
+    a fresh simulator ([backend] defaults to [`Reference]). *)
+val run :
+  ?backend:backend -> Mlc_cachesim.Machine.t -> Layout.t -> Program.t -> result
 
 (** [run_on hierarchy machine layout program] is {!run} against a
     caller-created hierarchy — pass one built with non-default options
@@ -35,9 +49,23 @@ val run_on :
   Program.t ->
   result
 
+(** [run_sim sim machine layout program] is the [`Fast] analogue of
+    {!run_on}: runs against a caller-created {!Mlc_cachesim.Fast_sim}
+    (which must be fresh) so the caller can inspect its per-level stats
+    afterwards. *)
+val run_sim :
+  Mlc_cachesim.Fast_sim.t ->
+  Mlc_cachesim.Machine.t ->
+  Layout.t ->
+  Program.t ->
+  result
+
 (** [feed hierarchy layout program] pushes the reference stream through an
     existing hierarchy (no cost model applied); returns flops executed. *)
 val feed : Mlc_cachesim.Hierarchy.t -> Layout.t -> Program.t -> int
+
+(** [`Fast] analogue of {!feed}. *)
+val feed_fast : Mlc_cachesim.Fast_sim.t -> Layout.t -> Program.t -> int
 
 (** Naive full address trace (byte addresses, program order).  Intended
     for small programs in tests; allocates the whole trace. *)

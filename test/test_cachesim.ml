@@ -102,6 +102,35 @@ let test_writeback_counting () =
   Cs.Level.clear level;
   check_int "clear resets" 0 (Cs.Level.writebacks level)
 
+let test_writes_vs_writebacks_distinct () =
+  (* Regression: write misses and dirty evictions are different axes and
+     must never share a counter.  A stream of write misses to disjoint
+     lines produces writes without writebacks; only evicting a dirtied
+     line produces a writeback, and it does not bump the write count. *)
+  let level = Cs.Level.create (geom 64 32 1) in
+  ignore (Cs.Level.access level ~write:true 0);
+  ignore (Cs.Level.access level ~write:true 32);
+  let s = Cs.Level.stats level in
+  check_int "write misses counted as writes" 2 s.Cs.Stats.writes;
+  check_int "write misses counted as misses" 2 s.Cs.Stats.misses;
+  check_int "write misses are not writebacks" 0 s.Cs.Stats.writebacks;
+  (* conflicting read evicts the dirty line at set 0 *)
+  ignore (Cs.Level.access level 64);
+  let s = Cs.Level.stats level in
+  check_int "dirty eviction is a writeback" 1 s.Cs.Stats.writebacks;
+  check_int "dirty eviction is not a write" 2 s.Cs.Stats.writes;
+  (* no-allocate: write misses bypass the level, so no line is ever
+     dirtied and later evictions stay silent *)
+  let wa = Cs.Level.create ~write_allocate:false (geom 64 32 1) in
+  ignore (Cs.Level.access wa ~write:true 0);
+  ignore (Cs.Level.access wa 64);
+  ignore (Cs.Level.access wa 128);
+  let s = Cs.Level.stats wa in
+  check_int "no-allocate write miss recorded" 1 s.Cs.Stats.writes;
+  check_int "no-allocate write misses never write back" 0 s.Cs.Stats.writebacks;
+  check_int "accessor agrees with stats" (Cs.Level.writebacks wa)
+    s.Cs.Stats.writebacks
+
 let test_next_line_prefetch () =
   let base = Cs.Level.create (geom 1024 32 1) in
   let pf = Cs.Level.create ~prefetch_next_line:true (geom 1024 32 1) in
@@ -251,6 +280,8 @@ let () =
           Alcotest.test_case "resident lines" `Quick test_resident_lines;
           Alcotest.test_case "write policies" `Quick test_write_allocate_policies;
           Alcotest.test_case "writeback counting" `Quick test_writeback_counting;
+          Alcotest.test_case "writes vs writebacks distinct" `Quick
+            test_writes_vs_writebacks_distinct;
           Alcotest.test_case "next-line prefetch" `Quick test_next_line_prefetch;
         ] );
       ( "hierarchy",

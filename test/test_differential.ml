@@ -1,0 +1,223 @@
+(* Differential oracle: the fast backend against the reference cascade.
+
+   Fast_sim claims bit-identical per-level stats (hits, misses, writes,
+   writebacks) for arbitrary hierarchies without prefetch.  These tests
+   hold it to that over random traces, random block-shaped access
+   patterns, and random power-of-two geometries, and check the
+   stack-distance sweep against full per-associativity simulations.
+
+   Case counts scale with the QCHECK_COUNT environment variable (the
+   nightly CI job sets it to 2000); the defaults already exceed 1000
+   random (trace, hierarchy) cases per run. *)
+
+module Cs = Mlc_cachesim
+
+let qcheck_count default =
+  match Sys.getenv_opt "QCHECK_COUNT" with
+  | Some s -> (
+      match int_of_string_opt s with Some n when n > 0 -> n | _ -> default)
+  | None -> default
+
+(* --- generators -------------------------------------------------------- *)
+
+let gen_geom =
+  QCheck.Gen.(
+    let* line_bits = int_range 4 6 in
+    let* sets_bits = int_range 0 4 in
+    let* assoc = oneofl [ 1; 2; 4 ] in
+    let line = 1 lsl line_bits in
+    let n_sets = 1 lsl sets_bits in
+    return { Cs.Level.size = line * n_sets * assoc; line; assoc })
+
+let gen_hierarchy =
+  QCheck.Gen.(
+    let* geoms = list_size (int_range 1 3) gen_geom in
+    let* write_allocate = bool in
+    return (write_allocate, geoms))
+
+let gen_trace =
+  QCheck.Gen.(
+    list_size (int_range 1 400) (pair (int_range 0 8191) bool))
+
+let print_geom (g : Cs.Level.geometry) =
+  Printf.sprintf "{size=%d;line=%d;assoc=%d}" g.Cs.Level.size g.Cs.Level.line
+    g.Cs.Level.assoc
+
+let print_hierarchy (wa, geoms) =
+  Printf.sprintf "write_allocate=%b [%s]" wa
+    (String.concat "; " (List.map print_geom geoms))
+
+(* --- trace-level equivalence ------------------------------------------- *)
+
+let stats_match h f =
+  List.for_all2 Cs.Stats.equal
+    (List.map Cs.Level.stats (Cs.Hierarchy.levels h))
+    (Cs.Fast_sim.level_stats f)
+
+let prop_trace_equivalence =
+  QCheck.Test.make
+    ~name:"random trace: Fast_sim.access = Hierarchy.access (stats + hit level)"
+    ~count:(qcheck_count 600)
+    (QCheck.make
+       ~print:(fun (h, trace) ->
+         Printf.sprintf "%s trace=%s" (print_hierarchy h)
+           (String.concat ","
+              (List.map
+                 (fun (a, w) -> Printf.sprintf "%d%s" a (if w then "w" else ""))
+                 trace)))
+       QCheck.Gen.(pair gen_hierarchy gen_trace))
+    (fun ((write_allocate, geoms), trace) ->
+      let h = Cs.Hierarchy.create ~write_allocate geoms in
+      let f = Cs.Fast_sim.create ~write_allocate geoms in
+      let levels_agree = ref true in
+      List.iter
+        (fun (addr, write) ->
+          let lh = Cs.Hierarchy.access h ~write addr in
+          let lf = Cs.Fast_sim.access f ~write addr in
+          if lh <> lf then levels_agree := false)
+        trace;
+      !levels_agree && stats_match h f
+      && Cs.Hierarchy.writebacks h = Cs.Fast_sim.writebacks f
+      && Cs.Hierarchy.miss_rates h = Cs.Fast_sim.miss_rates f
+      && Cs.Hierarchy.memory_accesses h = Cs.Fast_sim.memory_accesses f)
+
+(* --- block-level equivalence ------------------------------------------- *)
+
+(* Loop-shaped access patterns: a handful of references advancing by
+   per-ref strides, the shape [block] bulk-optimizes.  Strides are drawn
+   to cover the interesting regimes: zero stride, sub-line strides
+   (steady hits), line-sized and super-line strides (miss per segment),
+   negative strides, and non-power-of-two ones. *)
+let gen_block =
+  QCheck.Gen.(
+    let* nrefs = int_range 1 4 in
+    let* bases = list_repeat nrefs (int_range 0 4096) in
+    let* strides =
+      list_repeat nrefs
+        (oneofl [ -100; -64; -32; -8; -4; 0; 4; 8; 12; 16; 24; 32; 64; 100; 256 ])
+    in
+    let* writes = list_repeat nrefs bool in
+    let* count = int_range 1 300 in
+    return (Array.of_list bases, Array.of_list strides, Array.of_list writes, count))
+
+let prop_block_equivalence =
+  QCheck.Test.make
+    ~name:"random block: Fast_sim.block = per-access reference cascade"
+    ~count:(qcheck_count 400)
+    (QCheck.make
+       ~print:(fun (h, (bases, strides, writes, count)) ->
+         Printf.sprintf "%s bases=[%s] strides=[%s] writes=[%s] count=%d"
+           (print_hierarchy h)
+           (String.concat ";" (Array.to_list (Array.map string_of_int bases)))
+           (String.concat ";" (Array.to_list (Array.map string_of_int strides)))
+           (String.concat ";"
+              (Array.to_list (Array.map string_of_bool writes)))
+           count)
+       QCheck.Gen.(pair gen_hierarchy gen_block))
+    (fun ((write_allocate, geoms), (bases, strides, writes, count)) ->
+      let h = Cs.Hierarchy.create ~write_allocate geoms in
+      let f = Cs.Fast_sim.create ~write_allocate geoms in
+      for j = 0 to count - 1 do
+        for r = 0 to Array.length bases - 1 do
+          ignore
+            (Cs.Hierarchy.access h ~write:writes.(r)
+               (bases.(r) + (j * strides.(r))))
+        done
+      done;
+      Cs.Fast_sim.block f ~bases ~strides ~writes ~count;
+      stats_match h f && Cs.Hierarchy.writebacks h = Cs.Fast_sim.writebacks f)
+
+(* --- run-length replay -------------------------------------------------- *)
+
+let prop_compact_replay =
+  QCheck.Test.make
+    ~name:"compress/expand round-trips; compact replay = reference replay"
+    ~count:(qcheck_count 200)
+    (QCheck.make QCheck.Gen.(pair gen_hierarchy (list_size (int_range 1 300) (int_range 0 8191))))
+    (fun ((write_allocate, geoms), addrs) ->
+      let trace = Array.of_list addrs in
+      let compact = Cs.Trace.compress trace in
+      let h = Cs.Hierarchy.create ~write_allocate geoms in
+      let f = Cs.Fast_sim.create ~write_allocate geoms in
+      Cs.Trace.replay h trace;
+      Cs.Fast_sim.replay_compact f compact;
+      Cs.Trace.expand compact = trace
+      && Cs.Trace.length compact = Array.length trace
+      && stats_match h f)
+
+(* --- stack-distance sweep vs direct simulation -------------------------- *)
+
+let prop_sweep_matches_levels =
+  QCheck.Test.make
+    ~name:"Assoc_sweep.stats_at = full Level simulation (assoc 1,2,4,8)"
+    ~count:(qcheck_count 300)
+    (QCheck.make
+       QCheck.Gen.(
+         let* line_bits = int_range 4 6 in
+         let* sets_bits = int_range 0 3 in
+         let* trace = list_size (int_range 1 300) (pair (int_range 0 8191) bool) in
+         return (1 lsl line_bits, 1 lsl sets_bits, trace)))
+    (fun (line, n_sets, trace) ->
+      let sweep = Cs.Fast_sim.Assoc_sweep.create ~line ~n_sets in
+      List.iter (fun (addr, write) -> Cs.Fast_sim.Assoc_sweep.touch ~write sweep addr) trace;
+      List.for_all
+        (fun assoc ->
+          let level =
+            Cs.Level.create { Cs.Level.size = line * n_sets * assoc; line; assoc }
+          in
+          List.iter
+            (fun (addr, write) -> ignore (Cs.Level.access level ~write addr))
+            trace;
+          let ref_stats = Cs.Level.stats level in
+          let sweep_stats = Cs.Fast_sim.Assoc_sweep.stats_at sweep ~assoc in
+          ref_stats.Cs.Stats.accesses = sweep_stats.Cs.Stats.accesses
+          && ref_stats.Cs.Stats.hits = sweep_stats.Cs.Stats.hits
+          && ref_stats.Cs.Stats.misses = sweep_stats.Cs.Stats.misses
+          && ref_stats.Cs.Stats.writes = sweep_stats.Cs.Stats.writes)
+        [ 1; 2; 4; 8 ])
+
+(* --- whole-kernel equivalence ------------------------------------------- *)
+
+(* End-to-end: Interp with backend:`Fast must reproduce the reference
+   result record exactly — counters and derived floats — on real kernels,
+   on both machine presets, including a gather kernel (IRR) that takes
+   the per-access fallback inside feed_nest_fast. *)
+let test_kernel_equivalence () =
+  let open Mlc_ir in
+  let cases =
+    [
+      ("jacobi64", Mlc_kernels.Livermore.jacobi 64);
+      ("expl48", Mlc_kernels.Livermore.expl 48);
+      ("dot512", Mlc_kernels.Livermore.dot 512);
+      ("irr40", Mlc_kernels.Livermore.irr 40);
+      ("adi32", Mlc_kernels.Livermore.adi 32);
+    ]
+  in
+  List.iter
+    (fun (name, program) ->
+      List.iter
+        (fun machine ->
+          let layout = Layout.initial program in
+          let reference = Interp.run ~backend:`Reference machine layout program in
+          let fast = Interp.run ~backend:`Fast machine layout program in
+          Alcotest.(check bool)
+            (Printf.sprintf "%s on %s" name machine.Cs.Machine.name)
+            true
+            (reference = fast))
+        [ Cs.Machine.ultrasparc; Cs.Machine.alpha21164 ])
+    cases
+
+let () =
+  Alcotest.run "differential"
+    [
+      ( "oracle",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_trace_equivalence;
+            prop_block_equivalence;
+            prop_compact_replay;
+            prop_sweep_matches_levels;
+          ] );
+      ( "kernels",
+        [ Alcotest.test_case "Interp fast = reference" `Quick test_kernel_equivalence ] );
+    ]

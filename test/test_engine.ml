@@ -252,6 +252,71 @@ let test_merged_stats () =
         l1.Cs.Stats.accesses
   | [] -> Alcotest.fail "no merged levels"
 
+(* --- golden sweep output ------------------------------------------------ *)
+
+(* `mlc sweep` stdout must be byte-identical however the work is
+   scheduled and simulated: worker count, cache state, and backend are
+   implementation details that may never leak into results.  Timing and
+   progress go to stderr, which this test discards. *)
+
+(* Relative to the test's build directory under `dune runtest`; the
+   fallbacks cover running the test executable from the repo root. *)
+let mlc_exe =
+  List.find_opt Sys.file_exists
+    [ "../bin/mlc.exe"; "_build/default/bin/mlc.exe" ]
+
+let capture_stdout cmd =
+  let ic = Unix.open_process_in (cmd ^ " 2>/dev/null") in
+  let buf = Buffer.create 4096 in
+  (try
+     while true do
+       Buffer.add_channel buf ic 1
+     done
+   with End_of_file -> ());
+  match Unix.close_process_in ic with
+  | Unix.WEXITED 0 -> Buffer.contents buf
+  | _ -> Alcotest.fail (Printf.sprintf "command failed: %s" cmd)
+
+let fresh_dir tag =
+  let dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "mlc_golden_%s_%d" tag (Unix.getpid ()))
+  in
+  (try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+  dir
+
+let test_golden_sweep () =
+  let mlc_exe =
+    match mlc_exe with
+    | Some exe -> exe
+    | None -> Alcotest.fail "mlc.exe not built (missing test dependency)"
+  in
+  let base = mlc_exe ^ " sweep JACOBI512 --lo 64 --hi 80 --step 8" in
+  let cache_fast = fresh_dir "fast" and cache_ref = fresh_dir "ref" in
+  let variants =
+    [
+      ("jobs=1 no-cache fast", " --jobs 1 --no-cache");
+      ("jobs=4 no-cache fast", " --jobs 4 --no-cache");
+      ("jobs=4 cold cache fast", " --jobs 4 --cache-dir " ^ cache_fast);
+      ("jobs=1 warm cache fast", " --jobs 1 --cache-dir " ^ cache_fast);
+      ("jobs=1 no-cache reference", " --jobs 1 --no-cache --backend reference");
+      ( "jobs=4 cold cache reference",
+        " --jobs 4 --backend reference --cache-dir " ^ cache_ref );
+    ]
+  in
+  let outputs =
+    List.map (fun (label, args) -> (label, capture_stdout (base ^ args))) variants
+  in
+  match outputs with
+  | [] -> assert false
+  | (_, golden) :: rest ->
+      Alcotest.(check bool) "golden output non-empty" true (String.length golden > 0);
+      List.iter
+        (fun (label, out) ->
+          Alcotest.(check string) (label ^ " matches golden") golden out)
+        rest
+
 let () =
   Alcotest.run "engine"
     [
@@ -279,4 +344,9 @@ let () =
       ( "stats",
         List.map QCheck_alcotest.to_alcotest
           [ prop_add_assoc_comm; prop_merge_order_independent ] );
+      ( "golden",
+        [
+          Alcotest.test_case "sweep stdout stable across jobs/cache/backend"
+            `Slow test_golden_sweep;
+        ] );
     ]

@@ -3,6 +3,12 @@
 
 module Cs = Mlc_cachesim
 
+(* Case counts scale with QCHECK_COUNT (nightly CI raises it). *)
+let qcheck_count default =
+  match Sys.getenv_opt "QCHECK_COUNT" with
+  | Some s -> ( match int_of_string_opt s with Some n when n > 0 -> n | _ -> default)
+  | None -> default
+
 let check_int = Alcotest.(check int)
 
 let test_simple_trace () =
@@ -29,7 +35,7 @@ let fully_assoc_misses ~line ~lines trace =
 let prop_matches_lru_simulation =
   QCheck.Test.make
     ~name:"misses_at = fully-associative LRU simulation (all capacities)"
-    ~count:100
+    ~count:(qcheck_count 100)
     QCheck.(
       pair
         (list_of_size Gen.(int_range 1 300) (int_range 0 4000))
@@ -42,7 +48,7 @@ let prop_matches_lru_simulation =
       = fully_assoc_misses ~line:32 ~lines trace)
 
 let prop_curve_monotone =
-  QCheck.Test.make ~name:"miss curve is non-increasing in capacity" ~count:100
+  QCheck.Test.make ~name:"miss curve is non-increasing in capacity" ~count:(qcheck_count 100)
     QCheck.(list_of_size Gen.(int_range 1 200) (int_range 0 10_000))
     (fun addrs ->
       let sd = Cs.Stack_distance.analyze (Array.of_list addrs) in
@@ -56,12 +62,96 @@ let prop_curve_monotone =
       mono curve)
 
 let prop_cold_equals_distinct_lines =
-  QCheck.Test.make ~name:"cold misses = distinct lines" ~count:100
+  QCheck.Test.make ~name:"cold misses = distinct lines" ~count:(qcheck_count 100)
     QCheck.(list_of_size Gen.(int_range 1 200) (int_range 0 10_000))
     (fun addrs ->
       let sd = Cs.Stack_distance.analyze ~line:32 (Array.of_list addrs) in
       let distinct = List.sort_uniq compare (List.map (fun a -> a / 32) addrs) in
       Cs.Stack_distance.cold sd = List.length distinct)
+
+let prop_inclusion_monotone =
+  (* The defining inclusion property of LRU stacks, checked per access:
+     any access that hits a fully-associative LRU cache of S lines also
+     hits one of 2S lines fed the same stream. *)
+  QCheck.Test.make
+    ~name:"per-access inclusion: hits at S lines are hits at 2S lines"
+    ~count:(qcheck_count 100)
+    QCheck.(
+      pair
+        (list_of_size Gen.(int_range 1 300) (int_range 0 8000))
+        (int_range 0 4))
+    (fun (addrs, log_lines) ->
+      let lines = 1 lsl log_lines in
+      let small =
+        Cs.Level.create { Cs.Level.size = 32 * lines; line = 32; assoc = lines }
+      in
+      let big =
+        Cs.Level.create
+          { Cs.Level.size = 32 * 2 * lines; line = 32; assoc = 2 * lines }
+      in
+      List.for_all
+        (fun addr ->
+          let hit_small = Cs.Level.access small addr in
+          let hit_big = Cs.Level.access big addr in
+          (not hit_small) || hit_big)
+        addrs)
+
+let prop_histogram_accounts_every_access =
+  (* Every access lands either in the cold count or in exactly one
+     histogram bucket, so the two always sum to the trace length. *)
+  QCheck.Test.make
+    ~name:"cold + histogram total = trace length"
+    ~count:(qcheck_count 100)
+    QCheck.(list_of_size Gen.(int_range 0 300) (int_range 0 10_000))
+    (fun addrs ->
+      let trace = Array.of_list addrs in
+      let sd = Cs.Stack_distance.analyze ~line:32 trace in
+      let hist_total =
+        List.fold_left (fun acc (_, n) -> acc + n) 0 (Cs.Stack_distance.histogram sd)
+      in
+      Cs.Stack_distance.total sd = Array.length trace
+      && Cs.Stack_distance.cold sd + hist_total = Array.length trace)
+
+let prop_sweep_histogram_accounts_every_access =
+  (* Same conservation law for the per-set sweep in the fast backend. *)
+  QCheck.Test.make
+    ~name:"Assoc_sweep: cold + histogram total = trace length"
+    ~count:(qcheck_count 100)
+    QCheck.(
+      pair
+        (list_of_size Gen.(int_range 0 300) (int_range 0 10_000))
+        (int_range 0 4))
+    (fun (addrs, sets_bits) ->
+      let trace = Array.of_list addrs in
+      let sweep =
+        Cs.Fast_sim.Assoc_sweep.analyze ~line:32 ~n_sets:(1 lsl sets_bits) trace
+      in
+      let hist_total =
+        Array.fold_left ( + ) 0 (Cs.Fast_sim.Assoc_sweep.histogram sweep)
+      in
+      Cs.Fast_sim.Assoc_sweep.total sweep = Array.length trace
+      && Cs.Fast_sim.Assoc_sweep.cold sweep + hist_total = Array.length trace)
+
+let prop_sweep_hits_monotone_in_assoc =
+  (* More ways can only catch more reuse at fixed line/set count. *)
+  QCheck.Test.make
+    ~name:"Assoc_sweep: hits non-decreasing in associativity"
+    ~count:(qcheck_count 100)
+    QCheck.(
+      pair
+        (list_of_size Gen.(int_range 1 300) (int_range 0 10_000))
+        (int_range 0 3))
+    (fun (addrs, sets_bits) ->
+      let trace = Array.of_list addrs in
+      let sweep =
+        Cs.Fast_sim.Assoc_sweep.analyze ~line:32 ~n_sets:(1 lsl sets_bits) trace
+      in
+      let hits = List.map (fun a -> Cs.Fast_sim.Assoc_sweep.hits_at sweep ~assoc:a) in
+      let rec mono = function
+        | h1 :: (h2 :: _ as rest) -> h1 <= h2 && mono rest
+        | _ -> true
+      in
+      mono (hits [ 1; 2; 4; 8; 16 ]))
 
 let test_kernel_curve_brackets_levels () =
   (* EXPL's reuse is bracketed by the two cache levels: a 16K-worth of
@@ -90,5 +180,9 @@ let () =
             prop_matches_lru_simulation;
             prop_curve_monotone;
             prop_cold_equals_distinct_lines;
+            prop_inclusion_monotone;
+            prop_histogram_accounts_every_access;
+            prop_sweep_histogram_accounts_every_access;
+            prop_sweep_hits_monotone_in_assoc;
           ] );
     ]
