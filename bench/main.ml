@@ -43,6 +43,7 @@ module An = Mlc_analysis
 module K = Mlc_kernels
 module L = Locality
 module E = Mlc_engine
+module Obs = Mlc_obs.Obs
 
 let machine = Cs.Machine.ultrasparc
 
@@ -65,8 +66,16 @@ let cache = ref None
 
 let progress = ref None
 
+(* Observability: one buffer for the whole run (--trace/--metrics); the
+   engine merges per-job buffers into it deterministically. *)
+let obs : Obs.Buf.t option ref = ref None
+
+let trace_path : string option ref = ref None
+
+let want_metrics = ref false
+
 let submit specs =
-  E.Engine.run ?cache:!cache ?progress:!progress ~jobs:!jobs
+  E.Engine.run ?cache:!cache ?progress:!progress ?obs:!obs ~jobs:!jobs
     (Array.of_list
        (List.map (fun spec -> { spec with E.Job.backend = !backend }) specs))
 
@@ -971,7 +980,8 @@ let default_sections =
 let usage () =
   Printf.eprintf
     "usage: main.exe [fast] [--jobs N] [--no-cache] [--cache-dir DIR] \
-     [--backend fast|reference] [SECTION...]\nsections: %s\n"
+     [--backend fast|reference] [--trace FILE] [--metrics] [SECTION...]\n\
+     sections: %s\n"
     (String.concat ", " (List.map fst sections))
 
 let parse_args args =
@@ -998,6 +1008,12 @@ let parse_args args =
         go rest
     | "--cache-dir" :: d :: rest ->
         cache_dir := Some d;
+        go rest
+    | "--trace" :: f :: rest ->
+        trace_path := Some f;
+        go rest
+    | "--metrics" :: rest ->
+        want_metrics := true;
         go rest
     | "--backend" :: b :: rest ->
         (match Mlc_ir.Interp.backend_of_string b with
@@ -1039,8 +1055,24 @@ let dump_json section_times =
                     wall)
                 section_times))
       in
+      let metrics_json =
+        match !obs with
+        | None -> []
+        | Some buf ->
+            [
+              ( "metrics",
+                Printf.sprintf "{%s}"
+                  (String.concat ", "
+                     (List.map
+                        (fun (k, v) ->
+                          Printf.sprintf "\"%s\": %d" (E.Progress.json_escape k)
+                            v)
+                        (Obs.Buf.counters buf))) );
+            ]
+      in
       let extra =
-        [
+        metrics_json
+        @ [
           ("mode", if !fast then "\"fast\"" else "\"full\"");
           ( "backend",
             Printf.sprintf "\"%s\"" (Mlc_ir.Interp.backend_name !backend) );
@@ -1066,6 +1098,8 @@ let () =
   let to_run = if wanted = [] then default_sections else wanted in
   if !use_cache then cache := Some (E.Cache.open_ ?dir:!cache_dir ());
   progress := Some (E.Progress.create ~jobs:!jobs ());
+  if !trace_path <> None || !want_metrics then
+    obs := Some (Obs.Buf.create ~tid:0 ());
   Printf.printf "mlcache bench harness — %s mode\n"
     (if !fast then "fast" else "full");
   Printf.eprintf "engine: %d worker domain%s, cache %s\n%!" !jobs
@@ -1074,11 +1108,21 @@ let () =
     | Some c ->
         Printf.sprintf "%s (models %s)" (E.Cache.dir c) (E.Cache.version c)
     | None -> "disabled");
+  let run_section name f =
+    (* With observability on, the section runs inside the shared buffer
+       under a "section:NAME" span; the engine's per-job buffers merge
+       into the same buffer, so one trace covers the whole run. *)
+    match !obs with
+    | None -> f ()
+    | Some buf ->
+        Obs.with_buf buf (fun () ->
+            Obs.with_span ~cat:"bench" ("section:" ^ name) f)
+  in
   let section_times =
     List.map
       (fun (name, f) ->
         let t0 = Unix.gettimeofday () in
-        f ();
+        run_section name f;
         let wall = Unix.gettimeofday () -. t0 in
         Option.iter E.Progress.finish !progress;
         Printf.eprintf "[%s done in %.1fs]\n%!" name wall;
@@ -1096,4 +1140,21 @@ let () =
         (float_of_int (E.Progress.refs_streamed p))
         (E.Progress.jobs_per_sec p)
   | None -> ());
-  dump_json section_times
+  dump_json section_times;
+  match !obs with
+  | None -> ()
+  | Some buf ->
+      (match !trace_path with
+      | None -> ()
+      | Some path ->
+          let oc = open_out path in
+          Obs.Sink.write (Obs.Sink.chrome oc) buf;
+          close_out oc;
+          Printf.eprintf "trace: %d events -> %s\n%!" (Obs.Buf.n_events buf)
+            path);
+      if !want_metrics then begin
+        print_string "metrics:\n";
+        List.iter
+          (fun (name, v) -> Printf.printf "  %-36s %d\n" name v)
+          (Obs.Buf.counters buf)
+      end

@@ -15,6 +15,7 @@ module Cs = Mlc_cachesim
 module An = Mlc_analysis
 module K = Mlc_kernels
 module L = Locality
+module Obs = Mlc_obs.Obs
 
 (* --- shared args -------------------------------------------------------- *)
 
@@ -58,6 +59,48 @@ let build_program name size =
       failwith (Printf.sprintf "%s has no size parameter" entry.K.Registry.name)
   | None, _ -> entry.K.Registry.build ()
 
+(* --- observability flags -------------------------------------------------- *)
+
+let trace_arg =
+  let doc =
+    "Write a Chrome trace_event JSON file of the run (spans, decision \
+     events, counters); load it in perfetto or chrome://tracing, or \
+     validate it with $(b,mlc trace-check)."
+  in
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
+
+let metrics_arg =
+  let doc = "Print the observability counters after the run." in
+  Arg.(value & flag & info [ "metrics" ] ~doc)
+
+(* Run [body] with an observability buffer installed when --trace or
+   --metrics asked for one, then write the trace file and/or print the
+   counters.  The metrics block goes to stdout (it is part of the
+   command's result); everything incidental stays on stderr. *)
+let with_obs ~span ~trace ~metrics body =
+  if trace = None && not metrics then body None
+  else begin
+    let buf = Obs.Buf.create ~tid:0 () in
+    let result =
+      Obs.with_buf buf (fun () ->
+          Obs.with_span ~cat:"cli" span (fun () -> body (Some buf)))
+    in
+    (match trace with
+    | None -> ()
+    | Some path ->
+        let oc = open_out path in
+        Obs.Sink.write (Obs.Sink.chrome oc) buf;
+        close_out oc;
+        Printf.eprintf "trace: %d events -> %s\n%!" (Obs.Buf.n_events buf) path);
+    if metrics then begin
+      print_string "metrics:\n";
+      List.iter
+        (fun (name, v) -> Printf.printf "  %-36s %d\n" name v)
+        (Obs.Buf.counters buf)
+    end;
+    result
+  end
+
 (* --- list ---------------------------------------------------------------- *)
 
 let list_cmd =
@@ -75,7 +118,8 @@ let list_cmd =
 (* --- simulate ------------------------------------------------------------- *)
 
 let simulate_cmd =
-  let run prog size strategy machine_name =
+  let run prog size strategy machine_name trace metrics =
+    with_obs ~span:("mlc:simulate " ^ prog) ~trace ~metrics @@ fun _obs ->
     let machine = machine_of machine_name in
     let p = build_program prog size in
     Validate.check_exn p;
@@ -87,7 +131,11 @@ let simulate_cmd =
     Format.printf "  model-time improvement: %.2f%%@."
       (L.Experiment.time_improvement ~baseline:orig opt)
   in
-  let term = Term.(const run $ prog_arg $ size_arg $ strategy_arg $ machine_arg) in
+  let term =
+    Term.(
+      const run $ prog_arg $ size_arg $ strategy_arg $ machine_arg $ trace_arg
+      $ metrics_arg)
+  in
   Cmd.v
     (Cmd.info "simulate"
        ~doc:"Simulate a program under a layout strategy and print miss rates.")
@@ -133,7 +181,11 @@ let sweep_cmd =
                    steady runs of L1 hits.")
   in
   let run prog lo hi step strategies machine_name jobs no_cache cache_dir
-      backend_name =
+      backend_name trace metrics =
+    with_obs
+      ~span:(Printf.sprintf "mlc:sweep %s %d..%d" prog lo hi)
+      ~trace ~metrics
+    @@ fun obs ->
     let machine = machine_of machine_name in
     let strategies =
       String.split_on_char ',' strategies
@@ -175,7 +227,7 @@ let sweep_cmd =
       |> Array.of_list
     in
     let t0 = Unix.gettimeofday () in
-    let results = E.Engine.run ?cache ~progress ~jobs specs in
+    let results = E.Engine.run ?cache ~progress ?obs ~jobs specs in
     E.Progress.finish progress;
     let per_size = List.length strategies in
     let n_levels = Cs.Machine.n_levels machine in
@@ -228,7 +280,8 @@ let sweep_cmd =
   let term =
     Term.(
       const run $ prog_arg $ lo_arg $ hi_arg $ step_arg $ strategies_arg
-      $ machine_arg $ jobs_arg $ no_cache_arg $ cache_dir_arg $ backend_arg)
+      $ machine_arg $ jobs_arg $ no_cache_arg $ cache_dir_arg $ backend_arg
+      $ trace_arg $ metrics_arg)
   in
   Cmd.v
     (Cmd.info "sweep"
@@ -395,7 +448,8 @@ let compile_cmd =
     Arg.(value & flag & info [ "scalar-replace" ]
            ~doc:"Also remove register-carried loads from the stream.")
   in
-  let run prog size machine_name scalar =
+  let run prog size machine_name scalar trace metrics =
+    with_obs ~span:("mlc:compile " ^ prog) ~trace ~metrics @@ fun _obs ->
     let machine = machine_of machine_name in
     let p = build_program prog size in
     let options =
@@ -403,7 +457,11 @@ let compile_cmd =
     in
     print_string (L.Compiler.report ~options machine p)
   in
-  let term = Term.(const run $ prog_arg $ size_arg $ machine_arg $ scalar_arg) in
+  let term =
+    Term.(
+      const run $ prog_arg $ size_arg $ machine_arg $ scalar_arg $ trace_arg
+      $ metrics_arg)
+  in
   Cmd.v
     (Cmd.info "compile"
        ~doc:
@@ -514,6 +572,36 @@ let run_cmd =
           simulate it.")
     term
 
+(* --- trace-check (validate exported traces) ---------------------------------- *)
+
+let trace_check_cmd =
+  let file_arg =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"FILE" ~doc:"Chrome trace_event JSON file.")
+  in
+  let run file =
+    match Mlc_obs.Trace_check.validate_file file with
+    | Ok s ->
+        Printf.printf
+          "%s: OK (%d events: %d spans, %d counter samples, %d instants, %d \
+           lanes)\n"
+          file s.Mlc_obs.Trace_check.events s.Mlc_obs.Trace_check.spans
+          s.Mlc_obs.Trace_check.counters s.Mlc_obs.Trace_check.instants
+          s.Mlc_obs.Trace_check.tids
+    | Error errs ->
+        List.iter (fun e -> Printf.eprintf "%s: %s\n" file e) errs;
+        exit 1
+  in
+  Cmd.v
+    (Cmd.info "trace-check"
+       ~doc:
+         "Validate a Chrome trace_event JSON file (as emitted by --trace): \
+          well-formed JSON, known phases, monotone timestamps, matched B/E \
+          span pairs per lane.")
+    Term.(const run $ file_arg)
+
 (* --------------------------------------------------------------------------- *)
 
 let () =
@@ -523,6 +611,6 @@ let () =
   in
   let group =
     Cmd.group info
-      [ list_cmd; simulate_cmd; sweep_cmd; layout_cmd; arcs_cmd; fuse_cmd; tile_cmd; run_cmd; curve_cmd; emit_cmd; compile_cmd ]
+      [ list_cmd; simulate_cmd; sweep_cmd; layout_cmd; arcs_cmd; fuse_cmd; tile_cmd; run_cmd; curve_cmd; emit_cmd; compile_cmd; trace_check_cmd ]
   in
   exit (Cmd.eval group)

@@ -40,6 +40,16 @@ type t = {
   mutable cur : int array;
   mutable slot : int array;
   mutable rem : int array;
+  (* fast-path accounting: how [block] consumed its iterations *)
+  mutable bulk_segments : int;
+  mutable bulk_iterations : int;
+  mutable seq_iterations : int;
+}
+
+type metrics = {
+  bulk_segments : int;
+  bulk_iterations : int;
+  seq_iterations : int;
 }
 
 let is_pow2 n = n > 0 && n land (n - 1) = 0
@@ -78,6 +88,9 @@ let create ?(write_allocate = true) geoms =
     cur = [||];
     slot = [||];
     rem = [||];
+    bulk_segments = 0;
+    bulk_iterations = 0;
+    seq_iterations = 0;
   }
 
 let n_levels t = Array.length t.levels
@@ -106,7 +119,17 @@ let clear t =
       Array.fill l.dirty 0 (Array.length l.dirty) false;
       l.clock <- 0;
       Stats.reset l.stats)
-    t.levels
+    t.levels;
+  t.bulk_segments <- 0;
+  t.bulk_iterations <- 0;
+  t.seq_iterations <- 0
+
+let metrics (t : t) : metrics =
+  {
+    bulk_segments = t.bulk_segments;
+    bulk_iterations = t.bulk_iterations;
+    seq_iterations = t.seq_iterations;
+  }
 
 (* One access at one level; mirrors Level.access minus prefetch.
    Returns whether it hit.  All indices below are masked (set <=
@@ -282,6 +305,7 @@ let block_dm t l1 ~bases ~strides ~writes ~count =
         done;
         let k = !k in
         bulk_iters := !bulk_iters + k;
+        t.bulk_segments <- t.bulk_segments + 1;
         i := !i + k;
         for r = 0 to nrefs - 1 do
           Array.unsafe_set rem r (Array.unsafe_get rem r - k);
@@ -345,7 +369,9 @@ let block_dm t l1 ~bases ~strides ~writes ~count =
   let inline_writes = ((!bulk_iters + !seq_iters) * nwrites) - !ncasc_w in
   st.Stats.accesses <- st.Stats.accesses + inline_hits;
   st.Stats.hits <- st.Stats.hits + inline_hits;
-  st.Stats.writes <- st.Stats.writes + inline_writes
+  st.Stats.writes <- st.Stats.writes + inline_writes;
+  t.bulk_iterations <- t.bulk_iterations + !bulk_iters;
+  t.seq_iterations <- t.seq_iterations + !seq_iters
 
 (* Associative L1: segments bounded by the next line crossing of any ref.
    If every ref's line is resident the whole segment is hits and is
@@ -371,6 +397,8 @@ let block_assoc t l1 ~bases ~strides ~writes ~count =
     !ok
   in
   let bulk k =
+    t.bulk_segments <- t.bulk_segments + 1;
+    t.bulk_iterations <- t.bulk_iterations + k;
     let st = l1.stats in
     st.Stats.accesses <- st.Stats.accesses + (k * nrefs);
     st.Stats.hits <- st.Stats.hits + (k * nrefs);
@@ -385,6 +413,7 @@ let block_assoc t l1 ~bases ~strides ~writes ~count =
   in
   let n = Array.length t.levels in
   let one_iteration () =
+    t.seq_iterations <- t.seq_iterations + 1;
     for r = 0 to nrefs - 1 do
       ignore (cascade t writes.(r) 0 n cur.(r))
     done

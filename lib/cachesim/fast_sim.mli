@@ -63,6 +63,17 @@ val writebacks : t -> int
 (** Per-level misses / total refs, the paper's reporting convention. *)
 val miss_rates : t -> float list
 
+(** Fast-path accounting: how {!block} consumed its iterations.
+    [bulk_iterations + seq_iterations] is the total iteration count seen;
+    a high bulk share is what makes this backend fast. *)
+type metrics = {
+  bulk_segments : int;  (** all-hit segments accounted in bulk *)
+  bulk_iterations : int;  (** iterations covered by those segments *)
+  seq_iterations : int;  (** iterations replayed access by access *)
+}
+
+val metrics : t -> metrics
+
 val clear : t -> unit
 
 (** Single-pass per-set stack-distance analysis.

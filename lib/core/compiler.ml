@@ -22,61 +22,57 @@ let default_options =
     scalar_replace = false;
   }
 
-let optimize ?(options = default_options) machine program =
+let program_passes_of_options o =
+  (if o.permute then [ Pass.permute ] else [])
+  @ (if o.fuse then [ Pass.fusion ] else [])
+  @ if o.scalar_replace then [ Pass.scalar_replace ] else []
+
+let passes_of_options o =
+  program_passes_of_options o @ Pipeline.passes o.pad_strategy
+
+let default_passes = passes_of_options default_options
+
+let optimize ?(options = default_options) ?passes machine program =
   let log = ref [] in
   let say fmt = Printf.ksprintf (fun s -> log := s :: !log) fmt in
-  let line = Cs.Machine.level_line machine 0 in
-  (* 1. permutation toward memory order *)
-  let program =
-    if not options.permute then program
-    else begin
-      let layout = Layout.initial program in
-      Program.map_nests
-        (fun nest ->
-          let best = Permute.optimize layout ~line nest in
-          if Nest.vars best <> Nest.vars nest then
-            say "permuted (%s) -> (%s)"
-              (String.concat "," (Nest.vars nest))
-              (String.concat "," (Nest.vars best));
-          best)
-        program
-    end
+  let layout_summary layout =
+    List.iter
+      (fun v ->
+        let pad = Layout.pad_before layout v in
+        let intra = Layout.intra_pad layout v in
+        if pad > 0 || intra > 0 then
+          say "  %s: pad_before %dB%s" v pad
+            (if intra > 0 then Printf.sprintf ", column +%d elems" intra else ""))
+      (Layout.array_names layout)
   in
-  (* 2. profitable fusion *)
-  let program =
-    if not options.fuse then program
-    else begin
-      let fused, fusion_log = Fusion.optimize_program machine program in
-      List.iter (fun l -> say "fusion: %s" l) fusion_log;
-      fused
-    end
-  in
-  (* 3. scalar replacement (optional; changes the reference stream) *)
-  let program =
-    if not options.scalar_replace then program
-    else begin
-      let before = Program.ref_count program in
-      let replaced = Scalar_replace.apply_program program in
-      say "scalar replacement removed %d references per run"
-        (before - Program.ref_count replaced);
-      replaced
-    end
-  in
-  (* 4. data layout *)
-  let layout = Pipeline.layout_for machine options.pad_strategy program in
-  say "layout: %s" (Pipeline.strategy_name options.pad_strategy);
-  List.iter
-    (fun v ->
-      let pad = Layout.pad_before layout v in
-      let intra = Layout.intra_pad layout v in
-      if pad > 0 || intra > 0 then
-        say "  %s: pad_before %dB%s" v pad
-          (if intra > 0 then Printf.sprintf ", column +%d elems" intra else ""))
-    (Layout.array_names layout);
-  { program; layout; log = List.rev !log }
+  match passes with
+  | Some ps ->
+      (* Explicit pipeline: one threaded (program, layout) fold. *)
+      let program, layout, events =
+        Pass.run_all machine ps (program, Layout.initial program)
+      in
+      say "passes: %s"
+        (String.concat " -> " (List.map (fun p -> p.Pass.name) ps));
+      List.iter (fun e -> log := e.Pass.detail :: !log) events;
+      layout_summary layout;
+      { program; layout; log = List.rev !log }
+  | None ->
+      (* Legacy options shim: program passes, then the strategy's layout
+         passes via Pipeline.layout_for, logged in the historical
+         format. *)
+      let program, _, events =
+        Pass.run_all machine
+          (program_passes_of_options options)
+          (program, Layout.initial program)
+      in
+      List.iter (fun e -> log := e.Pass.detail :: !log) events;
+      let layout = Pipeline.layout_for machine options.pad_strategy program in
+      say "layout: %s" (Pipeline.strategy_name options.pad_strategy);
+      layout_summary layout;
+      { program; layout; log = List.rev !log }
 
-let report ?options machine program =
-  let optimized = optimize ?options machine program in
+let report ?options ?passes machine program =
+  let optimized = optimize ?options ?passes machine program in
   let orig_layout = Layout.initial program in
   let r0 = Interp.run machine orig_layout program in
   let r1 = Interp.run machine optimized.layout optimized.program in

@@ -9,9 +9,13 @@
       then L2MAXPAD when a second level exists;
     + optionally scalar replacement of register-carried loads.
 
-    Tiling is not applied blindly — it is profitable for reduction-style
-    nests like matrix multiplication, not for the stencils that dominate
-    the suite — so it stays an explicit tool ({!Tiling}).
+    The pipeline is a composition of {!Pass.t} values: pass
+    [~passes:[...]] to run an arbitrary sequence, or use the legacy
+    {!options} record, which is translated to the equivalent pass list
+    ({!passes_of_options}).  Tiling is not applied blindly — it is
+    profitable for reduction-style nests like matrix multiplication, not
+    for the stencils that dominate the suite — so it stays an explicit
+    tool ({!Tiling}).
 
     Every decision is logged; [optimize] never changes what the program
     computes (each pass is legality-checked). *)
@@ -24,6 +28,8 @@ type result = {
   log : string list;
 }
 
+(** Deprecated in favour of [~passes]; kept so existing callers
+    compile.  [optimize ~options] behaves exactly as it always did. *)
 type options = {
   permute : bool;
   fuse : bool;
@@ -33,11 +39,29 @@ type options = {
 
 val default_options : options
 
-(** [optimize ?options machine program]. *)
+(** The {!Pass.t} list an {!options} record denotes: enabled program
+    passes in paper order, then [Pipeline.passes options.pad_strategy]. *)
+val passes_of_options : options -> Pass.t list
+
+(** [passes_of_options default_options] — the paper's default pipeline:
+    permute, fusion, intra-pad, GROUPPAD, L2MAXPAD. *)
+val default_passes : Pass.t list
+
+(** [optimize ?options ?passes machine program].  When [passes] is given
+    it wins over [options]: the list is folded over
+    [(program, Layout.initial program)] via {!Pass.run_all}. *)
 val optimize :
-  ?options:options -> Mlc_cachesim.Machine.t -> Program.t -> result
+  ?options:options ->
+  ?passes:Pass.t list ->
+  Mlc_cachesim.Machine.t ->
+  Program.t ->
+  result
 
 (** Convenience: simulate original vs optimized and report the paper's
     metrics (per-level miss rates and model-time improvement). *)
 val report :
-  ?options:options -> Mlc_cachesim.Machine.t -> Program.t -> string
+  ?options:options ->
+  ?passes:Pass.t list ->
+  Mlc_cachesim.Machine.t ->
+  Program.t ->
+  string

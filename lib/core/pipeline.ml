@@ -17,36 +17,15 @@ let strategy_name = function
 
 let all = [ Original; Pad_l1; Pad_multilevel; Grouppad_l1; Grouppad_l1_l2 ]
 
-let l1_geometry machine =
-  match machine.Cs.Machine.geometries with
-  | g :: _ -> g
-  | [] -> invalid_arg "Pipeline: machine without cache levels"
-
-let with_intra machine program layout =
-  let g = l1_geometry machine in
-  Intra_pad.apply ~size:g.Cs.Level.size ~line:g.Cs.Level.line program layout
+let passes = function
+  | Original -> []
+  | Pad_l1 -> [ Pass.intra_pad; Pass.pad_l1 ]
+  | Pad_multilevel -> [ Pass.intra_pad; Pass.multilvlpad ]
+  | Grouppad_l1 -> [ Pass.intra_pad; Pass.grouppad_l1 ]
+  | Grouppad_l1_l2 -> [ Pass.intra_pad; Pass.grouppad_l1; Pass.l2maxpad ]
 
 let layout_for machine strategy program =
-  let layout = Layout.initial program in
-  let g = l1_geometry machine in
-  let s1 = g.Cs.Level.size and l1_line = g.Cs.Level.line in
-  match strategy with
-  | Original -> layout
-  | Pad_l1 ->
-      let layout = with_intra machine program layout in
-      Pad.apply ~size:s1 ~line:l1_line program layout
-  | Pad_multilevel ->
-      let layout = with_intra machine program layout in
-      Multilvlpad.apply machine program layout
-  | Grouppad_l1 ->
-      let layout = with_intra machine program layout in
-      Grouppad.apply ~size:s1 ~line:l1_line program layout
-  | Grouppad_l1_l2 ->
-      let layout = with_intra machine program layout in
-      let layout = Grouppad.apply ~size:s1 ~line:l1_line program layout in
-      let l2_size =
-        match machine.Cs.Machine.geometries with
-        | _ :: g2 :: _ -> g2.Cs.Level.size
-        | _ -> s1
-      in
-      Maxpad.apply_l2 ~s1 ~l2_size program layout
+  let _, layout, _ =
+    Pass.run_all machine (passes strategy) (program, Layout.initial program)
+  in
+  layout

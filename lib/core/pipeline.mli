@@ -17,6 +17,10 @@ type strategy =
 
 val strategy_name : strategy -> string
 
+(** The {!Pass.t} composition a strategy denotes; [layout_for] is
+    [Pass.run_all] over this list.  [Original] is the empty list. *)
+val passes : strategy -> Pass.t list
+
 (** [layout_for machine strategy program] runs the passes. *)
 val layout_for : Cs.Machine.t -> strategy -> Program.t -> Layout.t
 

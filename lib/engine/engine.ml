@@ -1,6 +1,7 @@
 module Cs = Mlc_cachesim
+module Obs = Mlc_obs.Obs
 
-let run ?cache ?progress ?jobs specs =
+let run ?cache ?progress ?obs ?jobs specs =
   Option.iter (fun p -> Progress.expect p (Array.length specs)) progress;
   let one ~worker spec =
     let cached = Option.bind cache (fun c -> Cache.find c spec) in
@@ -12,6 +13,8 @@ let run ?cache ?progress ?jobs specs =
           Option.iter (fun c -> Cache.store c spec r) cache;
           (r, false)
     in
+    Obs.count "engine.jobs";
+    Obs.count (if cache_hit then "engine.cache.hits" else "engine.cache.misses");
     Option.iter
       (fun p ->
         Progress.record p ~worker ~cache_hit
@@ -19,7 +22,27 @@ let run ?cache ?progress ?jobs specs =
       progress;
     result
   in
-  Pool.map ?jobs one specs
+  match obs with
+  | None -> Pool.map ?jobs one specs
+  | Some dst ->
+      (* Each job records into a private per-job buffer tagged with its
+         worker, so the hot path stays lock-free; the buffers are merged
+         into [dst] in spec (submission) order, which makes every counter
+         total and the event sequence independent of the worker count. *)
+      let instrumented ~worker spec =
+        let buf = Obs.Buf.create ~tid:worker () in
+        let result =
+          Obs.with_buf buf (fun () ->
+              Obs.with_span ~cat:"job"
+                ~args:[ ("worker", `Int worker) ]
+                (Job.describe spec)
+                (fun () -> one ~worker spec))
+        in
+        (result, buf)
+      in
+      let pairs = Pool.map ?jobs instrumented specs in
+      Array.iter (fun (_, buf) -> Obs.Buf.merge ~into:dst buf) pairs;
+      Array.map fst pairs
 
 let merged_stats results =
   Array.fold_left

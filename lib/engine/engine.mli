@@ -13,12 +13,21 @@
     is byte-for-byte independent of [jobs], of scheduling, and of which
     entries were cache hits. *)
 
-(** [run ?cache ?progress ?jobs specs].  [jobs] defaults to
+(** [run ?cache ?progress ?obs ?jobs specs].  [jobs] defaults to
     {!Pool.default_jobs}.  Failures propagate as in {!Pool.map}
-    (first exception re-raised after shutdown). *)
+    (first exception re-raised after shutdown).
+
+    When [obs] is given, each job executes inside a private
+    [Mlc_obs.Obs] buffer tagged with its worker index and wrapped in a
+    ["job"] span named [Job.describe spec]; per-job buffers are merged
+    into [obs] in spec order, so counter totals and merged event
+    sequences do not depend on [jobs].  (Cache-hit counters do depend on
+    the cache's prior contents — pass no cache for reproducible
+    counts.) *)
 val run :
   ?cache:Cache.t ->
   ?progress:Progress.t ->
+  ?obs:Mlc_obs.Obs.Buf.t ->
   ?jobs:int ->
   Job.spec array ->
   Job.result array

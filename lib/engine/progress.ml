@@ -16,7 +16,16 @@ type t = {
 
 let create ?live ~jobs () =
   let live =
-    match live with Some b -> b | None -> Unix.isatty Unix.stderr
+    match live with
+    | Some b -> b
+    | None -> (
+        (* All telemetry goes to stderr; the live line additionally
+           requires a tty (or an explicit MLC_PROGRESS override), so
+           redirected runs never see spinner control characters. *)
+        match Sys.getenv_opt "MLC_PROGRESS" with
+        | Some ("0" | "no" | "false" | "off") -> false
+        | Some _ -> true
+        | None -> Unix.isatty Unix.stderr)
   in
   {
     workers =

@@ -9,7 +9,9 @@
 
 type t
 
-(** [create ~jobs ()] — [live] defaults to [stderr] being a tty. *)
+(** [create ~jobs ()] — [live] defaults to [stderr] being a tty, overridable
+    with the [MLC_PROGRESS] env var ([0]/[no]/[false]/[off] force it off,
+    any other value forces it on). *)
 val create : ?live:bool -> jobs:int -> unit -> t
 
 (** Announce [n] more expected jobs (the live line's denominator). *)

@@ -1,4 +1,5 @@
 module Cs = Mlc_cachesim
+module Obs = Mlc_obs.Obs
 
 type result = {
   total_refs : int;
@@ -238,8 +239,50 @@ let feed_fast sim layout program =
   done;
   !flops
 
+(* --- observability ------------------------------------------------------- *)
+
+(* Per-level counters are recorded as deltas against a pre-run snapshot,
+   so reused (cleared or accumulating) hierarchies and simulators never
+   double-count.  Everything below is skipped when no buffer is
+   installed; the counters are per-run, never per-access, so the
+   instrumentation cost is independent of trace length. *)
+
+let obs_snapshot stats = List.map (fun s -> Cs.Stats.add s (Cs.Stats.zero ())) stats
+
+let obs_count name n = if n <> 0 then Obs.count ~n name
+
+let obs_record_levels ~before ~after =
+  List.iteri
+    (fun i (b, a) ->
+      let l = Printf.sprintf "sim.L%d." (i + 1) in
+      obs_count (l ^ "accesses") (a.Cs.Stats.accesses - b.Cs.Stats.accesses);
+      obs_count (l ^ "hits") (a.Cs.Stats.hits - b.Cs.Stats.hits);
+      obs_count (l ^ "misses") (a.Cs.Stats.misses - b.Cs.Stats.misses);
+      obs_count (l ^ "writes") (a.Cs.Stats.writes - b.Cs.Stats.writes);
+      obs_count (l ^ "writebacks") (a.Cs.Stats.writebacks - b.Cs.Stats.writebacks))
+    (List.combine before after);
+  match (before, after) with
+  | b1 :: _, a1 :: _ ->
+      obs_count "sim.refs" (a1.Cs.Stats.accesses - b1.Cs.Stats.accesses)
+  | _ -> ()
+
 let run_on hierarchy machine layout program =
-  let flops = feed hierarchy layout program in
+  let enabled = Obs.enabled () in
+  let stats_of () = List.map Cs.Level.stats (Cs.Hierarchy.levels hierarchy) in
+  let before = if enabled then obs_snapshot (stats_of ()) else [] in
+  let flops =
+    if not enabled then feed hierarchy layout program
+    else
+      Obs.with_span ~cat:"sim"
+        ~args:
+          [
+            ("backend", `Str "reference");
+            ("program", `Str program.Program.name);
+          ]
+        "sim:run"
+        (fun () -> feed hierarchy layout program)
+  in
+  if enabled then obs_record_levels ~before ~after:(obs_snapshot (stats_of ()));
   let total_refs = Cs.Hierarchy.total_refs hierarchy in
   let misses =
     List.map
@@ -261,7 +304,31 @@ let run_on hierarchy machine layout program =
   }
 
 let run_sim sim machine layout program =
-  let flops = feed_fast sim layout program in
+  let enabled = Obs.enabled () in
+  let before = if enabled then obs_snapshot (Cs.Fast_sim.level_stats sim) else [] in
+  let m0 = if enabled then Some (Cs.Fast_sim.metrics sim) else None in
+  let flops =
+    if not enabled then feed_fast sim layout program
+    else
+      Obs.with_span ~cat:"sim"
+        ~args:
+          [ ("backend", `Str "fast"); ("program", `Str program.Program.name) ]
+        "sim:run"
+        (fun () -> feed_fast sim layout program)
+  in
+  if enabled then begin
+    obs_record_levels ~before ~after:(obs_snapshot (Cs.Fast_sim.level_stats sim));
+    match m0 with
+    | Some m0 ->
+        let m1 = Cs.Fast_sim.metrics sim in
+        obs_count "sim.fast.bulk_segments"
+          (m1.Cs.Fast_sim.bulk_segments - m0.Cs.Fast_sim.bulk_segments);
+        obs_count "sim.fast.bulk_iterations"
+          (m1.Cs.Fast_sim.bulk_iterations - m0.Cs.Fast_sim.bulk_iterations);
+        obs_count "sim.fast.seq_iterations"
+          (m1.Cs.Fast_sim.seq_iterations - m0.Cs.Fast_sim.seq_iterations)
+    | None -> ()
+  end;
   let stats = Cs.Fast_sim.level_stats sim in
   let cost = machine.Cs.Machine.cost in
   {

@@ -1,0 +1,483 @@
+(* The observability layer: span/counter semantics in Mlc_obs, Chrome
+   export validated by the same checker CI runs, conservation laws tying
+   the simulation counters to the reference stream, determinism of the
+   engine's buffer merge across worker counts and backends, and the
+   Pass-pipeline layouts' bit-identity with the historical per-module
+   compositions. *)
+
+module Cs = Mlc_cachesim
+module E = Mlc_engine
+module K = Mlc_kernels
+module L = Locality
+module Obs = Mlc_obs.Obs
+module Tc = Mlc_obs.Trace_check
+open Mlc_ir
+
+(* --- span and counter model ----------------------------------------------- *)
+
+let test_span_model () =
+  Alcotest.(check bool) "disabled by default" false (Obs.enabled ());
+  Alcotest.(check int) "disabled with_span is pass-through" 42
+    (Obs.with_span "nothing" (fun () -> 42));
+  Obs.count "dropped";
+  Obs.instant "dropped";
+  let buf = Obs.Buf.create ~tid:3 () in
+  let r =
+    Obs.with_buf buf (fun () ->
+        Alcotest.(check bool) "enabled under with_buf" true (Obs.enabled ());
+        Obs.with_span ~cat:"t" "outer" (fun () ->
+            Obs.count ~n:2 "c.x";
+            Obs.with_span "inner" (fun () ->
+                Obs.instant "tick";
+                Obs.count "c.x";
+                Obs.count "c.y");
+            Alcotest.(check int) "inner span closed" 1 (Obs.Buf.depth buf);
+            7))
+  in
+  Alcotest.(check bool) "disabled again after with_buf" false (Obs.enabled ());
+  Alcotest.(check int) "with_span returns the body's value" 7 r;
+  Alcotest.(check int) "all spans closed" 0 (Obs.Buf.depth buf);
+  Alcotest.(check (list (pair string int)))
+    "counter totals, sorted"
+    [ ("c.x", 3); ("c.y", 1) ]
+    (Obs.Buf.counters buf);
+  Alcotest.(check int) "single counter" 3 (Obs.Buf.counter buf "c.x");
+  Alcotest.(check int) "absent counter" 0 (Obs.Buf.counter buf "nope");
+  (* 2 begins + 2 ends + 1 instant + 3 samples *)
+  Alcotest.(check int) "event count" 8 (Obs.Buf.n_events buf);
+  (* timestamps never go backwards within a buffer *)
+  ignore
+    (List.fold_left
+       (fun prev (e : Obs.event) ->
+         Alcotest.(check bool) "monotone ts" true (e.Obs.ts >= prev);
+         e.Obs.ts)
+       0 (Obs.Buf.events buf))
+
+let test_span_exception_safe () =
+  let buf = Obs.Buf.create () in
+  (match
+     Obs.with_buf buf (fun () ->
+         Obs.with_span "boom" (fun () -> raise Exit))
+   with
+  | () -> Alcotest.fail "Exit swallowed"
+  | exception Exit -> ());
+  Alcotest.(check int) "span closed on raise" 0 (Obs.Buf.depth buf);
+  Alcotest.(check bool) "buffer uninstalled on raise" false (Obs.enabled ())
+
+(* --- Chrome export and the validator -------------------------------------- *)
+
+let with_temp_file tag f =
+  let path = Filename.temp_file ("mlc_obs_" ^ tag) ".json" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () -> f path)
+
+let sink_to_file sink buf path =
+  let oc = open_out path in
+  Obs.Sink.write (sink oc) buf;
+  close_out oc
+
+let read_file path =
+  let ic = open_in_bin path in
+  let s = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  s
+
+(* Mimics the engine: a worker buffer on its own lane, merged into the
+   main buffer while the main buffer's top span is still open.  The
+   exported trace must still be globally ts-sorted with matched B/E
+   pairs per lane. *)
+let merged_buffer () =
+  let dst = Obs.Buf.create ~tid:0 () in
+  Obs.with_buf dst (fun () ->
+      Obs.with_span ~cat:"cli" "top" (fun () ->
+          Obs.count ~n:5 "top.counter";
+          let w = Obs.Buf.create ~tid:1 () in
+          Obs.with_buf w (fun () ->
+              Obs.with_span ~cat:"job" "job:0" (fun () ->
+                  Obs.instant ~cat:"decision" "chose";
+                  Obs.count ~n:3 "job.counter"));
+          Obs.Buf.merge ~into:dst w));
+  dst
+
+let test_chrome_roundtrip () =
+  let dst = merged_buffer () in
+  Alcotest.(check int) "merge adds counters" 3
+    (Obs.Buf.counter dst "job.counter");
+  Alcotest.(check int) "merge keeps counters" 5
+    (Obs.Buf.counter dst "top.counter");
+  with_temp_file "chrome" (fun path ->
+      sink_to_file Obs.Sink.chrome dst path;
+      match Tc.validate_file path with
+      | Error errs -> Alcotest.fail (String.concat "; " errs)
+      | Ok s ->
+          Alcotest.(check int) "events" (Obs.Buf.n_events dst) s.Tc.events;
+          Alcotest.(check int) "spans" 2 s.Tc.spans;
+          Alcotest.(check int) "counter samples" 2 s.Tc.counters;
+          Alcotest.(check int) "instants" 1 s.Tc.instants;
+          Alcotest.(check int) "lanes" 2 s.Tc.tids)
+
+let test_other_sinks () =
+  let dst = merged_buffer () in
+  with_temp_file "pretty" (fun path ->
+      sink_to_file Obs.Sink.pretty dst path;
+      Alcotest.(check bool) "pretty output non-empty" true
+        (String.length (read_file path) > 0));
+  with_temp_file "jsonl" (fun path ->
+      sink_to_file Obs.Sink.jsonl dst path;
+      let lines =
+        String.split_on_char '\n' (String.trim (read_file path))
+      in
+      Alcotest.(check int) "one JSON line per event" (Obs.Buf.n_events dst)
+        (List.length lines));
+  (* the null sink accepts anything *)
+  Obs.Sink.write Obs.Sink.null dst
+
+let test_validator_accepts_minimal () =
+  let ok =
+    {|{"traceEvents": [
+        {"ph": "B", "name": "s", "cat": "t", "ts": 1, "pid": 1, "tid": 0},
+        {"ph": "i", "name": "p", "ts": 2, "pid": 1, "tid": 0, "s": "t"},
+        {"ph": "C", "name": "c", "ts": 3, "pid": 1, "tid": 0,
+         "args": {"value": 7}},
+        {"ph": "E", "name": "s", "ts": 4, "pid": 1, "tid": 0}
+      ]}|}
+  in
+  match Tc.validate_string ok with
+  | Error errs -> Alcotest.fail (String.concat "; " errs)
+  | Ok s ->
+      Alcotest.(check int) "events" 4 s.Tc.events;
+      Alcotest.(check int) "spans" 1 s.Tc.spans;
+      Alcotest.(check int) "counters" 1 s.Tc.counters;
+      Alcotest.(check int) "instants" 1 s.Tc.instants;
+      Alcotest.(check int) "lanes" 1 s.Tc.tids
+
+let test_validator_rejects () =
+  let bad =
+    [
+      ( "mismatched E name",
+        {|{"traceEvents": [
+            {"ph": "B", "name": "a", "ts": 0, "pid": 1, "tid": 0},
+            {"ph": "E", "name": "b", "ts": 1, "pid": 1, "tid": 0}]}|} );
+      ( "unclosed span",
+        {|{"traceEvents": [
+            {"ph": "B", "name": "a", "ts": 0, "pid": 1, "tid": 0}]}|} );
+      ( "E without B",
+        {|{"traceEvents": [
+            {"ph": "E", "name": "a", "ts": 0, "pid": 1, "tid": 0}]}|} );
+      ( "ts goes backwards",
+        {|{"traceEvents": [
+            {"ph": "i", "name": "a", "ts": 5, "pid": 1, "tid": 0},
+            {"ph": "i", "name": "b", "ts": 3, "pid": 1, "tid": 0}]}|} );
+      ( "negative ts",
+        {|{"traceEvents": [
+            {"ph": "i", "name": "a", "ts": -1, "pid": 1, "tid": 0}]}|} );
+      ( "counter without value",
+        {|{"traceEvents": [
+            {"ph": "C", "name": "c", "ts": 0, "pid": 1, "tid": 0,
+             "args": {}}]}|} );
+      ( "unknown phase",
+        {|{"traceEvents": [
+            {"ph": "Q", "name": "a", "ts": 0, "pid": 1, "tid": 0}]}|} );
+      ( "missing ts",
+        {|{"traceEvents": [
+            {"ph": "i", "name": "a", "pid": 1, "tid": 0}]}|} );
+      ("no traceEvents", {|{"foo": 1}|});
+      ("JSON syntax error", "{nope");
+    ]
+  in
+  List.iter
+    (fun (label, s) ->
+      match Tc.validate_string s with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.fail (label ^ ": accepted"))
+    bad
+
+(* --- engine merge determinism --------------------------------------------- *)
+
+(* Same sweep test_engine uses: two kernels, two sizes, two strategies. *)
+let sweep_specs ?backend () =
+  List.concat_map
+    (fun name ->
+      List.concat_map
+        (fun n ->
+          List.map
+            (fun s ->
+              E.Job.simulate ?backend ~layout:(E.Job.Strategy s)
+                (E.Job.Registry { name; n = Some n }))
+            [ L.Pipeline.Original; L.Pipeline.Grouppad_l1 ])
+        [ 64; 72 ])
+    [ "JACOBI512"; "EXPL512" ]
+  |> Array.of_list
+
+let run_counters ~jobs specs =
+  let buf = Obs.Buf.create () in
+  let (_ : E.Job.result array) = E.Engine.run ~obs:buf ~jobs specs in
+  Obs.Buf.counters buf
+
+let test_counters_jobs_invariant () =
+  (* No cache: cache-hit counters depend on cache state, everything else
+     is a pure function of the specs. *)
+  let sequential = run_counters ~jobs:1 (sweep_specs ()) in
+  let parallel = run_counters ~jobs:4 (sweep_specs ()) in
+  Alcotest.(check (list (pair string int)))
+    "counters identical across --jobs 1 and --jobs 4" sequential parallel;
+  let lookup name = List.assoc_opt name parallel in
+  Alcotest.(check (option int)) "one engine.jobs per spec" (Some 8)
+    (lookup "engine.jobs");
+  Alcotest.(check (option int)) "all misses without a cache" (Some 8)
+    (lookup "engine.cache.misses");
+  Alcotest.(check (option int)) "no hits without a cache" None
+    (lookup "engine.cache.hits")
+
+let sim_level_counters counters =
+  List.filter
+    (fun (name, _) ->
+      name = "sim.refs"
+      || (String.length name >= 5 && String.sub name 0 5 = "sim.L"))
+    counters
+
+let test_counters_backend_invariant () =
+  (* The fast simulator must account exactly like the reference cascade;
+     only its private sim.fast.* counters may differ (the reference
+     backend has none). *)
+  let fast = run_counters ~jobs:2 (sweep_specs ~backend:`Fast ()) in
+  let reference = run_counters ~jobs:2 (sweep_specs ~backend:`Reference ()) in
+  Alcotest.(check (list (pair string int)))
+    "per-level counters identical across backends"
+    (sim_level_counters reference) (sim_level_counters fast);
+  Alcotest.(check bool) "fast backend reports bulk segments" true
+    (List.mem_assoc "sim.fast.bulk_segments" fast)
+
+(* --- conservation --------------------------------------------------------- *)
+
+let test_counter_conservation () =
+  let spec =
+    E.Job.simulate ~layout:E.Job.Initial
+      (E.Job.Registry { name = "JACOBI512"; n = Some 64 })
+  in
+  let buf = Obs.Buf.create () in
+  let results = E.Engine.run ~obs:buf ~jobs:1 [| spec |] in
+  let c name = Obs.Buf.counter buf name in
+  let total_refs = results.(0).E.Job.interp.Interp.total_refs in
+  (* sim.refs = the job's reference count = the naive trace length *)
+  Alcotest.(check int) "sim.refs = result refs" total_refs (c "sim.refs");
+  let program =
+    match (K.Registry.find "JACOBI512").K.Registry.build_sized with
+    | Some f -> f 64
+    | None -> Alcotest.fail "JACOBI512 not size-parameterized"
+  in
+  let trace_len = Array.length (Interp.trace (Layout.initial program) program) in
+  Alcotest.(check int) "sim.refs = trace length" trace_len (c "sim.refs");
+  (* every reference enters L1 *)
+  Alcotest.(check int) "sim.L1.accesses = sim.refs" (c "sim.refs")
+    (c "sim.L1.accesses");
+  (* per level: accesses split into hits and misses; misses cascade *)
+  let levels = List.length results.(0).E.Job.level_stats in
+  for i = 1 to levels do
+    let l suffix = c (Printf.sprintf "sim.L%d.%s" i suffix) in
+    Alcotest.(check bool)
+      (Printf.sprintf "L%d sees traffic" i)
+      true
+      (l "accesses" > 0);
+    Alcotest.(check int)
+      (Printf.sprintf "L%d hits+misses = accesses" i)
+      (l "accesses")
+      (l "hits" + l "misses");
+    if i < levels then
+      Alcotest.(check int)
+        (Printf.sprintf "L%d accesses = L%d misses" (i + 1) i)
+        (l "misses")
+        (c (Printf.sprintf "sim.L%d.accesses" (i + 1)))
+  done
+
+(* --- pass pipeline vs historical composition ------------------------------ *)
+
+(* The pre-Pass Pipeline.layout_for, reconstructed from the individual
+   padding modules.  Pipeline.passes must reproduce it bit for bit. *)
+let old_layout_for machine strategy program =
+  let layout = Layout.initial program in
+  let g =
+    match machine.Cs.Machine.geometries with
+    | g :: _ -> g
+    | [] -> invalid_arg "machine without cache levels"
+  in
+  let s1 = g.Cs.Level.size and l1_line = g.Cs.Level.line in
+  let with_intra layout =
+    L.Intra_pad.apply ~size:s1 ~line:l1_line program layout
+  in
+  match strategy with
+  | L.Pipeline.Original -> layout
+  | L.Pipeline.Pad_l1 ->
+      L.Pad.apply ~size:s1 ~line:l1_line program (with_intra layout)
+  | L.Pipeline.Pad_multilevel ->
+      L.Multilvlpad.apply machine program (with_intra layout)
+  | L.Pipeline.Grouppad_l1 ->
+      L.Grouppad.apply ~size:s1 ~line:l1_line program (with_intra layout)
+  | L.Pipeline.Grouppad_l1_l2 ->
+      let layout =
+        L.Grouppad.apply ~size:s1 ~line:l1_line program (with_intra layout)
+      in
+      let l2_size =
+        match machine.Cs.Machine.geometries with
+        | _ :: g2 :: _ -> g2.Cs.Level.size
+        | _ -> s1
+      in
+      L.Maxpad.apply_l2 ~s1 ~l2_size program layout
+
+let check_layouts_equal msg a b =
+  Alcotest.(check (list string))
+    (msg ^ ": arrays")
+    (Layout.array_names a) (Layout.array_names b);
+  List.iter
+    (fun name ->
+      Alcotest.(check int)
+        (Printf.sprintf "%s: %s base" msg name)
+        (Layout.base a name) (Layout.base b name);
+      Alcotest.(check int)
+        (Printf.sprintf "%s: %s pad_before" msg name)
+        (Layout.pad_before a name)
+        (Layout.pad_before b name);
+      Alcotest.(check int)
+        (Printf.sprintf "%s: %s intra_pad" msg name)
+        (Layout.intra_pad a name)
+        (Layout.intra_pad b name))
+    (Layout.array_names a);
+  Alcotest.(check int)
+    (msg ^ ": total_bytes")
+    (Layout.total_bytes a) (Layout.total_bytes b)
+
+let test_pass_pipeline_layouts () =
+  let programs =
+    List.map
+      (fun (name, n) ->
+        match (K.Registry.find name).K.Registry.build_sized with
+        | Some f -> f n
+        | None -> Alcotest.fail (name ^ " not size-parameterized"))
+      [ ("JACOBI512", 64); ("EXPL512", 64); ("ADI32", 32) ]
+  in
+  List.iter
+    (fun machine ->
+      List.iter
+        (fun program ->
+          List.iter
+            (fun strategy ->
+              let msg =
+                Printf.sprintf "%s/%s/%s" machine.Cs.Machine.name
+                  program.Program.name
+                  (L.Pipeline.strategy_name strategy)
+              in
+              check_layouts_equal msg
+                (old_layout_for machine strategy program)
+                (L.Pipeline.layout_for machine strategy program))
+            L.Pipeline.all)
+        programs)
+    [ Cs.Machine.ultrasparc; Cs.Machine.alpha21164 ]
+
+(* --- golden: mlc simulate --metrics --------------------------------------- *)
+
+let mlc_exe =
+  List.find_opt Sys.file_exists
+    [ "../bin/mlc.exe"; "_build/default/bin/mlc.exe" ]
+
+let capture_stdout cmd =
+  let ic = Unix.open_process_in (cmd ^ " 2>/dev/null") in
+  let buf = Buffer.create 4096 in
+  (try
+     while true do
+       Buffer.add_channel buf ic 1
+     done
+   with End_of_file -> ());
+  match Unix.close_process_in ic with
+  | Unix.WEXITED 0 -> Buffer.contents buf
+  | _ -> Alcotest.fail (Printf.sprintf "command failed: %s" cmd)
+
+let test_golden_simulate_metrics () =
+  let mlc_exe =
+    match mlc_exe with
+    | Some exe -> exe
+    | None -> Alcotest.fail "mlc.exe not built (missing test dependency)"
+  in
+  let base = mlc_exe ^ " simulate JACOBI512 -n 64" in
+  let plain = capture_stdout base in
+  let with_metrics = capture_stdout (base ^ " --metrics") in
+  (* --metrics appends to stdout; it may not perturb the simulation
+     output that precedes it *)
+  let marker = "metrics:\n" in
+  let split =
+    let rec find i =
+      if i + String.length marker > String.length with_metrics then
+        Alcotest.fail "--metrics output has no metrics section"
+      else if String.sub with_metrics i (String.length marker) = marker then i
+      else find (i + 1)
+    in
+    find 0
+  in
+  Alcotest.(check string) "simulation output unchanged by --metrics" plain
+    (String.sub with_metrics 0 split);
+  let expected =
+    String.concat ""
+      (marker
+      :: List.map
+           (fun (name, v) -> Printf.sprintf "  %-36s %d\n" name v)
+           [
+             ("pass.pad.decisions", 1);
+             ("sim.L1.accesses", 61504);
+             ("sim.L1.hits", 40143);
+             ("sim.L1.misses", 21361);
+             ("sim.L1.writebacks", 9158);
+             ("sim.L1.writes", 15376);
+             ("sim.L2.accesses", 21361);
+             ("sim.L2.hits", 19345);
+             ("sim.L2.misses", 2016);
+             ("sim.L2.writes", 4836);
+             ("sim.refs", 61504);
+           ])
+  in
+  Alcotest.(check string) "golden metrics section" expected
+    (String.sub with_metrics split (String.length with_metrics - split))
+
+let () =
+  Alcotest.run "obs"
+    [
+      ( "model",
+        [
+          Alcotest.test_case "spans, counters, instants" `Quick test_span_model;
+          Alcotest.test_case "exception safety" `Quick test_span_exception_safe;
+        ] );
+      ( "sinks",
+        [
+          Alcotest.test_case "chrome export validates" `Quick
+            test_chrome_roundtrip;
+          Alcotest.test_case "pretty and jsonl render" `Quick test_other_sinks;
+        ] );
+      ( "validator",
+        [
+          Alcotest.test_case "accepts a well-formed trace" `Quick
+            test_validator_accepts_minimal;
+          Alcotest.test_case "rejects malformed traces" `Quick
+            test_validator_rejects;
+        ] );
+      ( "determinism",
+        [
+          Alcotest.test_case "counters invariant under --jobs" `Slow
+            test_counters_jobs_invariant;
+          Alcotest.test_case "counters invariant under backend" `Slow
+            test_counters_backend_invariant;
+        ] );
+      ( "conservation",
+        [
+          Alcotest.test_case "per-level counter laws" `Slow
+            test_counter_conservation;
+        ] );
+      ( "passes",
+        [
+          Alcotest.test_case "Pass pipeline = historical layouts" `Quick
+            test_pass_pipeline_layouts;
+        ] );
+      ( "golden",
+        [
+          Alcotest.test_case "simulate --metrics" `Slow
+            test_golden_simulate_metrics;
+        ] );
+    ]
