@@ -62,6 +62,10 @@ let use_cache = ref true
 
 let cache_dir = ref None
 
+(* Per-job retry budget (--retries); transient failures back off and
+   retry, surfacing in the engine.retries counter. *)
+let retries = ref 0
+
 let cache = ref None
 
 let progress = ref None
@@ -75,7 +79,8 @@ let trace_path : string option ref = ref None
 let want_metrics = ref false
 
 let submit specs =
-  E.Engine.run ?cache:!cache ?progress:!progress ?obs:!obs ~jobs:!jobs
+  E.Engine.run ?cache:!cache ?progress:!progress ?obs:!obs
+    ~retry:(E.Fault.policy ~retries:!retries ()) ~jobs:!jobs
     (Array.of_list
        (List.map (fun spec -> { spec with E.Job.backend = !backend }) specs))
 
@@ -979,8 +984,9 @@ let default_sections =
 
 let usage () =
   Printf.eprintf
-    "usage: main.exe [fast] [--jobs N] [--no-cache] [--cache-dir DIR] \
-     [--backend fast|reference] [--trace FILE] [--metrics] [SECTION...]\n\
+    "usage: main.exe [fast] [--jobs N] [--retries N] [--no-cache] \
+     [--cache-dir DIR] [--backend fast|reference] [--trace FILE] \
+     [--metrics] [SECTION...]\n\
      sections: %s\n"
     (String.concat ", " (List.map fst sections))
 
@@ -1002,6 +1008,14 @@ let parse_args args =
         go rest
     | "--jobs" :: n :: rest ->
         jobs := parse_jobs n;
+        go rest
+    | "--retries" :: n :: rest ->
+        (match int_of_string_opt n with
+        | Some n when n >= 0 -> retries := n
+        | _ ->
+            Printf.eprintf "--retries expects a non-negative number, got %S\n" n;
+            usage ();
+            exit 2);
         go rest
     | "--no-cache" :: rest ->
         use_cache := false;

@@ -180,8 +180,34 @@ let sweep_cmd =
                    Both produce identical results; fast bulk-accounts \
                    steady runs of L1 hits.")
   in
+  let error_policy_arg =
+    Arg.(value & opt string "fail-fast"
+         & info [ "error-policy" ] ~docv:"P"
+             ~doc:"$(b,fail-fast) (default): the first failing cell aborts \
+                   the sweep.  $(b,collect): every cell runs, failed cells \
+                   are reported at the end and the exit status is non-zero.")
+  in
+  let resume_arg =
+    Arg.(value & flag
+         & info [ "resume" ]
+             ~doc:"Resume an interrupted sweep: re-run only the cells the \
+                   result cache does not already hold (requires the cache).")
+  in
+  let retries_arg =
+    Arg.(value & opt int 0
+         & info [ "retries" ] ~docv:"N"
+             ~doc:"Retry a failing cell up to N times with exponential \
+                   backoff before recording it as failed.")
+  in
+  let deadline_arg =
+    Arg.(value & opt (some float) None
+         & info [ "deadline" ] ~docv:"SECONDS"
+             ~doc:"Per-cell wall-clock budget; an overrunning cell counts a \
+                   timeout and fails (detected after the attempt, not \
+                   preempted).")
+  in
   let run prog lo hi step strategies machine_name jobs no_cache cache_dir
-      backend_name trace metrics =
+      backend_name error_policy resume retries deadline trace metrics =
     with_obs
       ~span:(Printf.sprintf "mlc:sweep %s %d..%d" prog lo hi)
       ~trace ~metrics
@@ -193,6 +219,16 @@ let sweep_cmd =
       |> List.map E.Job.strategy_of_tag
     in
     if strategies = [] then failwith "sweep: no strategies given";
+    let fail_fast =
+      match error_policy with
+      | "fail-fast" -> true
+      | "collect" -> false
+      | other ->
+          failwith
+            (Printf.sprintf "unknown error policy %s (fail-fast|collect)" other)
+    in
+    if resume && no_cache then
+      failwith "sweep: --resume needs the result cache (drop --no-cache)";
     let rec sizes n = if n > hi then [] else n :: sizes (n + max 1 step) in
     let sizes = sizes lo in
     let entry =
@@ -226,9 +262,63 @@ let sweep_cmd =
         sizes
       |> Array.of_list
     in
+    (* The journal next to the cache is what --resume verifies against;
+       the results themselves resume from the content-addressed cache. *)
+    let manifest =
+      Option.map (fun c -> E.Manifest.create ~cache:c ~resume specs) cache
+    in
+    (match manifest with
+    | Some m when resume ->
+        if E.Manifest.completed m > 0 then
+          Format.eprintf "resume: %d/%d cells recorded done by a previous run@."
+            (E.Manifest.completed m) (E.Manifest.cells m)
+        else
+          Format.eprintf
+            "resume: no matching sweep journal; cached cells still replay@."
+    | _ -> ());
+    let retry = E.Fault.policy ~retries ?deadline () in
+    let cancel = Atomic.make false in
+    let previous_sigint =
+      (* First Ctrl-C checkpoints at the next job boundary; a second one
+         gives up immediately. *)
+      try
+        Some
+          (Sys.signal Sys.sigint
+             (Sys.Signal_handle
+                (fun _ -> if Atomic.get cancel then exit 130 else Atomic.set cancel true)))
+      with Invalid_argument _ | Sys_error _ -> None
+    in
     let t0 = Unix.gettimeofday () in
-    let results = E.Engine.run ?cache ~progress ?obs ~jobs specs in
+    let slots =
+      E.Engine.run_collect ?cache ~progress ?obs ~retry ~cancel
+        ~stop_on_failure:fail_fast ~jobs specs
+    in
+    Option.iter (fun h -> try Sys.set_signal Sys.sigint h with _ -> ()) previous_sigint;
     E.Progress.finish progress;
+    let done_ = Array.map (function Some (Ok _) -> true | _ -> false) slots in
+    let completed = Array.fold_left (fun n d -> if d then n + 1 else n) 0 done_ in
+    let failures =
+      Array.to_list
+        (Array.mapi (fun i slot -> (i, slot)) slots)
+      |> List.filter_map (function
+           | i, Some (Error f) -> Some (i, f)
+           | _ -> None)
+    in
+    if Atomic.get cancel then begin
+      Option.iter (fun m -> E.Manifest.checkpoint m ~done_) manifest;
+      Format.eprintf "interrupted: %d/%d cells completed%s@." completed
+        (Array.length specs)
+        (if cache = None then ""
+         else "; finish with `mlc sweep ... --resume`");
+      exit 130
+    end;
+    if fail_fast && failures <> [] then begin
+      (* Preserve the historical fail-fast contract: checkpoint, then
+         re-raise the first failure as if Engine.run had thrown it. *)
+      Option.iter (fun m -> E.Manifest.checkpoint m ~done_) manifest;
+      let _, f = List.hd failures in
+      Printexc.raise_with_backtrace f.E.Fault.exn f.E.Fault.backtrace
+    end;
     let per_size = List.length strategies in
     let n_levels = Cs.Machine.n_levels machine in
     let columns =
@@ -246,15 +336,18 @@ let sweep_cmd =
           string_of_int n
           :: List.concat
                (List.init per_size (fun j ->
-                    let r = results.((per_size * i) + j) in
-                    List.init n_levels (fun l ->
-                        L.Report.pct
-                          (100.0
-                          *. List.nth r.E.Job.interp.Mlc_ir.Interp.miss_rates l))
-                    @ [
-                        Printf.sprintf "%.3e"
-                          r.E.Job.interp.Mlc_ir.Interp.cycles;
-                      ])))
+                    match slots.((per_size * i) + j) with
+                    | Some (Ok r) ->
+                        List.init n_levels (fun l ->
+                            L.Report.pct
+                              (100.0
+                              *. List.nth r.E.Job.interp.Mlc_ir.Interp.miss_rates l))
+                        @ [
+                            Printf.sprintf "%.3e"
+                              r.E.Job.interp.Mlc_ir.Interp.cycles;
+                          ]
+                    | Some (Error _) | None ->
+                        List.init n_levels (fun _ -> "-") @ [ "FAILED" ])))
         sizes
     in
     L.Report.table
@@ -262,8 +355,16 @@ let sweep_cmd =
         (Printf.sprintf "Sweep: %s over N=%d..%d step %d on %s"
            entry.K.Registry.name lo hi step machine.Cs.Machine.name)
       ~columns rows;
-    let merged = E.Engine.merged_stats results in
-    Format.printf "@.totals:@.";
+    let ok_results =
+      Array.of_list
+        (Array.to_list slots
+        |> List.filter_map (function Some (Ok r) -> Some r | _ -> None))
+    in
+    let merged = E.Engine.merged_stats ok_results in
+    if failures = [] then Format.printf "@.totals:@."
+    else
+      Format.printf "@.totals (%d/%d completed cells):@." completed
+        (Array.length specs);
     List.iteri
       (fun l s -> Format.printf "  L%d %a@." (l + 1) Cs.Stats.pp s)
       merged;
@@ -275,12 +376,29 @@ let sweep_cmd =
       (E.Progress.cache_hits progress)
       (Unix.gettimeofday () -. t0)
       (E.Progress.jobs_per_sec progress)
-      (E.Progress.refs_streamed progress)
+      (E.Progress.refs_streamed progress);
+    if failures = [] then Option.iter E.Manifest.finish manifest
+    else begin
+      Option.iter (fun m -> E.Manifest.checkpoint m ~done_) manifest;
+      List.iter
+        (fun (i, f) ->
+          Format.eprintf "failed: %s: %a@."
+            (E.Job.describe specs.(i))
+            E.Fault.pp_failure f)
+        failures;
+      Format.eprintf "%d/%d cells failed%s@." (List.length failures)
+        (Array.length specs)
+        (if cache = None then ""
+         else "; re-run (or --resume) to retry just those cells");
+      Format.pp_print_flush Format.std_formatter ();
+      exit 1
+    end
   in
   let term =
     Term.(
       const run $ prog_arg $ lo_arg $ hi_arg $ step_arg $ strategies_arg
       $ machine_arg $ jobs_arg $ no_cache_arg $ cache_dir_arg $ backend_arg
+      $ error_policy_arg $ resume_arg $ retries_arg $ deadline_arg
       $ trace_arg $ metrics_arg)
   in
   Cmd.v
@@ -602,6 +720,72 @@ let trace_check_cmd =
           span pairs per lane.")
     Term.(const run $ file_arg)
 
+(* --- cache (maintenance) ------------------------------------------------------ *)
+
+let cache_cmd =
+  let module E = Mlc_engine in
+  let cache_dir_arg =
+    Arg.(value & opt (some string) None
+         & info [ "cache-dir" ] ~docv:"DIR"
+             ~doc:"Cache directory (default _mlc_cache, or MLC_CACHE_DIR).")
+  in
+  let stats_cmd =
+    let run dir =
+      let c = E.Cache.open_ ?dir () in
+      let s = E.Cache.disk_stats c in
+      Printf.printf "cache %s (version %s)\n" (E.Cache.dir c) (E.Cache.version c);
+      Printf.printf "  entries      %6d  (%d bytes)\n" s.E.Cache.entries
+        s.E.Cache.entry_bytes;
+      Printf.printf "  quarantined  %6d  (%d bytes)\n" s.E.Cache.quarantined_files
+        s.E.Cache.quarantined_bytes;
+      Printf.printf "  stale tmp    %6d\n" s.E.Cache.tmp_files
+    in
+    Cmd.v
+      (Cmd.info "stats"
+         ~doc:"Entry, quarantine and stale-temp-file counts for the cache.")
+      Term.(const run $ cache_dir_arg)
+  in
+  let verify_cmd =
+    let run dir =
+      let c = E.Cache.open_ ?dir () in
+      let r = E.Cache.verify c in
+      Printf.printf "checked %d entries: %d intact, %d damaged%s\n"
+        r.E.Cache.checked r.E.Cache.intact r.E.Cache.damaged
+        (if r.E.Cache.damaged = 0 then "" else " (moved to quarantine)");
+      if r.E.Cache.damaged > 0 then exit 1
+    in
+    Cmd.v
+      (Cmd.info "verify"
+         ~doc:
+           "Read every cache entry and quarantine the damaged ones; exits \
+            non-zero when any entry was damaged.")
+      Term.(const run $ cache_dir_arg)
+  in
+  let gc_cmd =
+    let all_arg =
+      Arg.(value & flag
+           & info [ "all" ]
+               ~doc:"Also remove every entry, not just quarantine and temp \
+                     litter.")
+    in
+    let run dir all =
+      let c = E.Cache.open_ ?dir () in
+      let r = E.Cache.gc ~all c in
+      Printf.printf "removed %d files (%d bytes)\n" r.E.Cache.removed_files
+        r.E.Cache.removed_bytes
+    in
+    Cmd.v
+      (Cmd.info "gc"
+         ~doc:
+           "Remove stale temp files and quarantined entries; with $(b,--all), \
+            empty the cache.")
+      Term.(const run $ cache_dir_arg $ all_arg)
+  in
+  Cmd.group
+    (Cmd.info "cache"
+       ~doc:"Inspect and maintain the on-disk result cache (stats/verify/gc).")
+    [ stats_cmd; verify_cmd; gc_cmd ]
+
 (* --------------------------------------------------------------------------- *)
 
 let () =
@@ -611,6 +795,6 @@ let () =
   in
   let group =
     Cmd.group info
-      [ list_cmd; simulate_cmd; sweep_cmd; layout_cmd; arcs_cmd; fuse_cmd; tile_cmd; run_cmd; curve_cmd; emit_cmd; compile_cmd; trace_check_cmd ]
+      [ list_cmd; simulate_cmd; sweep_cmd; layout_cmd; arcs_cmd; fuse_cmd; tile_cmd; run_cmd; curve_cmd; emit_cmd; compile_cmd; trace_check_cmd; cache_cmd ]
   in
   exit (Cmd.eval group)

@@ -18,7 +18,10 @@ let spread ~size ~increments _program layout =
   let n = List.length names in
   if n = 0 then layout
   else
-    let spacing = size / n in
+    (* More arrays than cache bytes degenerates to spacing 0 — every
+       target collapses onto position 0 and the division of the cache is
+       meaningless; clamp so targets still advance. *)
+    let spacing = max 1 (size / n) in
     List.fold_left
       (fun (layout, k) v ->
         let target = k * spacing mod size in
@@ -38,13 +41,17 @@ let spread ~size ~increments _program layout =
     |> fst
 
 let apply ?(grain = 8) ~size program layout =
+  (* Cap the candidate count so huge caches do not explode the search:
+     position precision of size/4096 is far below a cache line.  The
+     subsampled increments are generated directly — every [step]'th
+     multiple of [grain] below [size] — instead of materializing the
+     full size/grain-element list (≈1M entries for an 8 MB L2) only to
+     filter it down to ≤4096. *)
   let increments =
-    let rec go p acc = if p >= size then List.rev acc else go (p + grain) (p :: acc) in
-    (* Cap the candidate count so huge caches do not explode the search:
-       position precision of size/4096 is far below a cache line. *)
-    go 0 [] |> fun all ->
-    let step = max 1 (List.length all / 4096) in
-    List.filteri (fun i _ -> i mod step = 0) all
+    let count = (size + grain - 1) / grain in
+    let step = max 1 (count / 4096) in
+    let kept = (count + step - 1) / step in
+    List.init kept (fun i -> i * step * grain)
   in
   spread ~size ~increments program layout
 

@@ -1,9 +1,12 @@
+module Obs = Mlc_obs.Obs
+
 type t = {
   dir : string;
   version : string;
   hits : int Atomic.t;
   misses : int Atomic.t;
   stores : int Atomic.t;
+  quarantined : int Atomic.t;
 }
 
 let default_dir () =
@@ -13,7 +16,15 @@ let default_dir () =
 
 (* The models' identity: a change to any simulator/optimizer source means
    old results may be wrong, so it participates in every key.  Old entries
-   are simply never addressed again — keys invalidate, mtimes never do. *)
+   are simply never addressed again — keys invalidate, mtimes never do.
+
+   The version must describe the *mlc build*, not whatever directory the
+   user happens to run from: `git describe` is anchored at the directory
+   of [Sys.executable_name] (inside the source tree for any dune-built
+   binary), and an installed binary outside any repository falls back to
+   a digest of the executable itself.  Either way, running `mlc` from an
+   unrelated checkout can no longer key results against the wrong
+   repository's version. *)
 let git_describe_memo = ref None
 
 let git_describe () =
@@ -24,15 +35,25 @@ let git_describe () =
         match Sys.getenv_opt "MLC_MODELS_VERSION" with
         | Some v when v <> "" -> v
         | _ -> (
-            try
-              let ic =
-                Unix.open_process_in "git describe --always --dirty 2>/dev/null"
-              in
-              let line = try input_line ic with End_of_file -> "" in
-              match (Unix.close_process_in ic, line) with
-              | Unix.WEXITED 0, line when line <> "" -> line
-              | _ -> "unversioned"
-            with _ -> "unversioned")
+            let from_git =
+              try
+                let cmd =
+                  Printf.sprintf "git -C %s describe --always --dirty 2>/dev/null"
+                    (Filename.quote (Filename.dirname Sys.executable_name))
+                in
+                let ic = Unix.open_process_in cmd in
+                let line = try input_line ic with End_of_file -> "" in
+                match (Unix.close_process_in ic, line) with
+                | Unix.WEXITED 0, line when line <> "" -> Some line
+                | _ -> None
+              with _ -> None
+            in
+            match from_git with
+            | Some v -> v
+            | None -> (
+                match Digest.file Sys.executable_name with
+                | d -> "exe-" ^ String.sub (Digest.to_hex d) 0 12
+                | exception _ -> "unversioned"))
       in
       git_describe_memo := Some v;
       v
@@ -58,6 +79,7 @@ let open_ ?dir ?version () =
     hits = Atomic.make 0;
     misses = Atomic.make 0;
     stores = Atomic.make 0;
+    quarantined = Atomic.make 0;
   }
 
 let dir t = t.dir
@@ -68,37 +90,69 @@ let hits t = Atomic.get t.hits
 
 let misses t = Atomic.get t.misses
 
+let quarantined t = Atomic.get t.quarantined
+
 let key t spec =
   Digest.to_hex (Digest.string (t.version ^ "\x00" ^ Job.canonical spec))
 
 let path_of_key t k =
   Filename.concat (Filename.concat t.dir (String.sub k 0 2)) (k ^ ".bin")
 
+let quarantine_dir_name = "quarantine"
+
+let quarantine_dir t = Filename.concat t.dir quarantine_dir_name
+
+(* A damaged entry is evidence of a problem (torn write, disk fault,
+   version of mlc with a different result layout) — silently treating it
+   as a miss forever would recompute and re-store over it on every run
+   without anyone noticing.  Instead the file is moved aside under
+   quarantine/, where `mlc cache stats` surfaces it, and the slot is
+   recomputed cleanly. *)
+let quarantine t path =
+  let dst = Filename.concat (quarantine_dir t) (Filename.basename path) in
+  (try
+     create_dir_p (quarantine_dir t);
+     Sys.rename path dst
+   with Sys_error _ | Unix.Unix_error _ -> (
+     (* Fall back to deleting: the entry must not stay addressable. *)
+     try Sys.remove path with Sys_error _ -> ()));
+  Atomic.incr t.quarantined;
+  Obs.count "engine.cache.quarantined"
+
 (* Entries carry the canonical spec string so a (vanishingly unlikely)
    digest collision or a truncated file degrades to a miss, never to a
    wrong result. *)
-let read_entry path wanted_key =
-  match open_in_bin path with
-  | exception Sys_error _ -> None
-  | ic ->
-      let entry =
-        try
-          let (stored_key, result) : string * Job.result =
-            Marshal.from_channel ic
-          in
-          if stored_key = wanted_key then Some result else None
-        with _ -> None
-      in
-      close_in_noerr ic;
-      entry
+type entry_read = Entry of Job.result | Damaged | Absent
+
+let read_entry path wanted_canonical =
+  if not (Sys.file_exists path) then Absent
+  else
+    match open_in_bin path with
+    | exception Sys_error _ -> Damaged (* exists but unreadable *)
+    | ic ->
+        let entry =
+          try
+            let (stored_canonical, result) : string * Job.result =
+              Marshal.from_channel ic
+            in
+            if stored_canonical = wanted_canonical then Entry result else Damaged
+          with _ -> Damaged
+        in
+        close_in_noerr ic;
+        entry
 
 let find t spec =
   let canon = Job.canonical spec in
-  match read_entry (path_of_key t (key t spec)) canon with
-  | Some r ->
+  let path = path_of_key t (key t spec) in
+  match read_entry path canon with
+  | Entry r ->
       Atomic.incr t.hits;
       Some r
-  | None ->
+  | Absent ->
+      Atomic.incr t.misses;
+      None
+  | Damaged ->
+      quarantine t path;
       Atomic.incr t.misses;
       None
 
@@ -112,18 +166,163 @@ let store t spec (result : Job.result) =
     Printf.sprintf "%s.tmp.%d.%d" path (Unix.getpid ())
       (Domain.self () :> int)
   in
+  let remove_tmp () = try Sys.remove tmp with Sys_error _ -> () in
   (try
      let oc = open_out_bin tmp in
-     Marshal.to_channel oc (Job.canonical spec, result) [];
-     close_out oc;
+     (* Always close the channel and reclaim the temp file, whatever
+        Marshal or the filesystem throws mid-write — IO errors degrade
+        to "not cached" below, anything else propagates cleaned-up. *)
+     (try
+        Marshal.to_channel oc (Job.canonical spec, result) [];
+        close_out oc
+      with e ->
+        close_out_noerr oc;
+        remove_tmp ();
+        raise e);
      Sys.rename tmp path;
      Atomic.incr t.stores
    with Sys_error _ | Unix.Unix_error _ ->
      (* A read-only or vanished cache directory degrades to no caching. *)
-     (try Sys.remove tmp with Sys_error _ -> ()));
+     remove_tmp ());
   ()
+
+(* Deterministic damage for the fault-injection tests: truncate the entry
+   mid-payload so the next lookup must quarantine and recompute it. *)
+let corrupt t spec =
+  let path = path_of_key t (key t spec) in
+  try
+    let len = (Unix.stat path).Unix.st_size in
+    Unix.truncate path (max 1 (len / 2))
+  with Unix.Unix_error _ | Sys_error _ -> ()
 
 let invalidate t spec =
   match Sys.remove (path_of_key t (key t spec)) with
   | () -> ()
   | exception Sys_error _ -> ()
+
+(* ----------------------------------------------------------------- *)
+(* Maintenance: stats / verify / gc                                   *)
+(* ----------------------------------------------------------------- *)
+
+type disk_stats = {
+  entries : int;
+  entry_bytes : int;
+  quarantined_files : int;
+  quarantined_bytes : int;
+  tmp_files : int;
+}
+
+let is_bin name = Filename.check_suffix name ".bin"
+
+let is_tmp name =
+  (* "<key>.bin.tmp.<pid>.<domain>" — anything with ".tmp." in it *)
+  let rec has i =
+    i + 5 <= String.length name && (String.sub name i 5 = ".tmp." || has (i + 1))
+  in
+  has 0
+
+let file_size path = try (Unix.stat path).Unix.st_size with _ -> 0
+
+(* The cache's two-hex-digit shard directories, excluding quarantine/ and
+   any sweep manifests living next to them. *)
+let shard_dirs t =
+  match Sys.readdir t.dir with
+  | exception Sys_error _ -> []
+  | names ->
+      Array.to_list names
+      |> List.filter (fun n ->
+             String.length n = 2
+             && Sys.is_directory (Filename.concat t.dir n))
+      |> List.sort compare
+
+let iter_shard_files t f =
+  List.iter
+    (fun shard ->
+      let d = Filename.concat t.dir shard in
+      match Sys.readdir d with
+      | exception Sys_error _ -> ()
+      | names ->
+          Array.sort compare names;
+          Array.iter (fun n -> f (Filename.concat d n)) names)
+    (shard_dirs t)
+
+let disk_stats t =
+  let entries = ref 0 and entry_bytes = ref 0 and tmp_files = ref 0 in
+  iter_shard_files t (fun path ->
+      if is_tmp (Filename.basename path) then incr tmp_files
+      else if is_bin (Filename.basename path) then begin
+        incr entries;
+        entry_bytes := !entry_bytes + file_size path
+      end);
+  let qd = quarantine_dir t in
+  let quarantined_files = ref 0 and quarantined_bytes = ref 0 in
+  (match Sys.readdir qd with
+  | exception Sys_error _ -> ()
+  | names ->
+      Array.iter
+        (fun n ->
+          incr quarantined_files;
+          quarantined_bytes := !quarantined_bytes + file_size (Filename.concat qd n))
+        names);
+  {
+    entries = !entries;
+    entry_bytes = !entry_bytes;
+    quarantined_files = !quarantined_files;
+    quarantined_bytes = !quarantined_bytes;
+    tmp_files = !tmp_files;
+  }
+
+type verify_report = { checked : int; intact : int; damaged : int }
+
+(* An entry is intact when it unmarshals to a (canonical, result) pair.
+   Entries written under other versions of the models hash to different
+   file names, so they are unreadable-by-key but still verifiable here;
+   damage means bytes, not staleness. *)
+let verify t =
+  let checked = ref 0 and intact = ref 0 and damaged = ref 0 in
+  iter_shard_files t (fun path ->
+      if is_bin (Filename.basename path) && not (is_tmp (Filename.basename path))
+      then begin
+        incr checked;
+        let ok =
+          match open_in_bin path with
+          | exception Sys_error _ -> false
+          | ic ->
+              let ok =
+                match (Marshal.from_channel ic : string * Job.result) with
+                | stored_canonical, _ -> String.length stored_canonical > 0
+                | exception _ -> false
+              in
+              close_in_noerr ic;
+              ok
+        in
+        if ok then incr intact
+        else begin
+          incr damaged;
+          quarantine t path
+        end
+      end);
+  { checked = !checked; intact = !intact; damaged = !damaged }
+
+type gc_report = { removed_files : int; removed_bytes : int }
+
+let gc ?(all = false) t =
+  let removed_files = ref 0 and removed_bytes = ref 0 in
+  let remove path =
+    let sz = file_size path in
+    match Sys.remove path with
+    | () ->
+        incr removed_files;
+        removed_bytes := !removed_bytes + sz
+    | exception Sys_error _ -> ()
+  in
+  (* Stale temp files are litter from interrupted stores; quarantined
+     entries have served their diagnostic purpose once gc is invoked. *)
+  iter_shard_files t (fun path ->
+      if is_tmp (Filename.basename path) then remove path
+      else if all && is_bin (Filename.basename path) then remove path);
+  let qd = quarantine_dir t in
+  (match Sys.readdir qd with
+  | exception Sys_error _ -> ()
+  | names -> Array.iter (fun n -> remove (Filename.concat qd n)) names);
+  { removed_files = !removed_files; removed_bytes = !removed_bytes }

@@ -8,14 +8,21 @@
     single reference.
 
     Determinism contract: [Job.execute] is a pure function of the spec,
-    [Pool.map] returns results in input order, and cached results are the
+    the pool returns results in input order, and cached results are the
     marshalled bytes of a previous execution — therefore the result array
     is byte-for-byte independent of [jobs], of scheduling, and of which
-    entries were cache hits. *)
+    entries were cache hits.
 
-(** [run ?cache ?progress ?obs ?jobs specs].  [jobs] defaults to
-    {!Pool.default_jobs}.  Failures propagate as in {!Pool.map}
-    (first exception re-raised after shutdown).
+    Every job runs under {!Fault.supervise}: pass [?retry] to retry
+    transient failures with exponential backoff and to impose per-job
+    deadlines.  The default policy (no retries) with no injected faults
+    leaves behavior and output unchanged. *)
+
+(** [run ?cache ?progress ?obs ?retry ?jobs specs].  [jobs] defaults to
+    {!Pool.default_jobs}.  Fail-fast error policy: on a job failure the
+    pool drains, completed jobs' Obs buffers are still merged into
+    [obs], and the first (lowest-index) failure's exception is re-raised
+    with its backtrace.
 
     When [obs] is given, each job executes inside a private
     [Mlc_obs.Obs] buffer tagged with its worker index and wrapped in a
@@ -28,9 +35,35 @@ val run :
   ?cache:Cache.t ->
   ?progress:Progress.t ->
   ?obs:Mlc_obs.Obs.Buf.t ->
+  ?retry:Fault.policy ->
   ?jobs:int ->
   Job.spec array ->
   Job.result array
+
+(** [run_collect] — the error-isolating variant: each cell comes back as
+    [Some (Ok result)], [Some (Error failure)] (the cell failed after
+    its retries; see {!Fault.failure}), or [None] (the cell never ran
+    because the pool drained first).  With [~stop_on_failure:true] the
+    first failure drains the pool ([`Fail_fast] with failures as data);
+    with the default [false] ([`Collect]) every cell runs regardless —
+    one poisoned cell no longer discards a thousand finished ones.
+    [cancel] is a cooperative interruption flag (e.g. set from a SIGINT
+    handler): once true, workers stop claiming cells and the slots never
+    claimed come back [None].
+
+    When no cell fails and no cancellation fires, the [Ok] payloads are
+    exactly {!run}'s results — same order, same bytes, for any [jobs]
+    and either [stop_on_failure]. *)
+val run_collect :
+  ?cache:Cache.t ->
+  ?progress:Progress.t ->
+  ?obs:Mlc_obs.Obs.Buf.t ->
+  ?retry:Fault.policy ->
+  ?cancel:bool Atomic.t ->
+  ?stop_on_failure:bool ->
+  ?jobs:int ->
+  Job.spec array ->
+  (Job.result, Fault.failure) result option array
 
 (** Per-level counters summed over all results with the associative
     [Stats.add] — totals independent of merge order.

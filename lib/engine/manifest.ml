@@ -1,0 +1,115 @@
+type t = {
+  path : string;
+  cells : int;
+  header : string list;  (** the lines identifying the sweep, in order *)
+  done_already : bool array;  (** loaded from a resumed journal *)
+}
+
+let magic = "mlc-sweep-manifest 1"
+
+let sweep_key ~version specs =
+  Digest.to_hex
+    (Digest.string
+       (String.concat "\x00"
+          (version :: Array.to_list (Array.map Job.canonical specs))))
+
+let manifests_dir cache = Filename.concat (Cache.dir cache) "manifests"
+
+let header_lines ~version specs =
+  magic
+  :: Printf.sprintf "version %s" version
+  :: Printf.sprintf "cells %d" (Array.length specs)
+  :: Array.to_list
+       (Array.mapi
+          (fun i spec -> Printf.sprintf "spec %d %s" i (Job.canonical spec))
+          specs)
+
+let read_lines path =
+  match open_in path with
+  | exception Sys_error _ -> None
+  | ic ->
+      let rec go acc =
+        match input_line ic with
+        | line -> go (line :: acc)
+        | exception End_of_file -> List.rev acc
+      in
+      let lines = go [] in
+      close_in_noerr ic;
+      Some lines
+
+(* An existing journal resumes this sweep iff its leading lines are
+   exactly the header we would write — same models version, same cells
+   in the same order.  Anything else (including a journal from an older
+   format) is ignored and overwritten. *)
+let load_done ~header ~cells path =
+  match read_lines path with
+  | None -> None
+  | Some lines ->
+      let rec split_header expected lines =
+        match (expected, lines) with
+        | [], rest -> Some rest
+        | e :: es, l :: ls when e = l -> split_header es ls
+        | _ -> None
+      in
+      Option.map
+        (fun rest ->
+          let done_ = Array.make cells false in
+          List.iter
+            (fun line ->
+              match String.split_on_char ' ' line with
+              | [ "done"; i ] -> (
+                  match int_of_string_opt i with
+                  | Some i when i >= 0 && i < cells -> done_.(i) <- true
+                  | _ -> ())
+              | _ -> ())
+            rest;
+          done_)
+        (split_header header lines)
+
+let write_fresh path header =
+  try
+    let oc = open_out path in
+    (try List.iter (fun l -> output_string oc (l ^ "\n")) header
+     with e -> close_out_noerr oc; raise e);
+    close_out oc
+  with Sys_error _ -> ()
+
+let create ~cache ~resume specs =
+  let cells = Array.length specs in
+  let version = Cache.version cache in
+  let header = header_lines ~version specs in
+  let dir = manifests_dir cache in
+  (try
+     if not (Sys.file_exists dir) then Unix.mkdir dir 0o755
+   with Unix.Unix_error _ -> ());
+  let path =
+    Filename.concat dir (sweep_key ~version specs ^ ".journal")
+  in
+  let done_already =
+    match if resume then load_done ~header ~cells path else None with
+    | Some d -> d
+    | None ->
+        write_fresh path header;
+        Array.make cells false
+  in
+  { path; cells; header; done_already }
+
+let path t = t.path
+
+let cells t = t.cells
+
+let completed t = Array.fold_left (fun n d -> if d then n + 1 else n) 0 t.done_already
+
+let checkpoint t ~done_ =
+  try
+    let oc = open_out_gen [ Open_append; Open_creat ] 0o644 t.path in
+    (try
+       Array.iteri
+         (fun i d -> if d && not t.done_already.(i) then
+             output_string oc (Printf.sprintf "done %d\n" i))
+         done_
+     with e -> close_out_noerr oc; raise e);
+    close_out oc
+  with Sys_error _ -> ()
+
+let finish t = try Sys.remove t.path with Sys_error _ -> ()

@@ -1,0 +1,45 @@
+(** Sweep manifest journal — the resume record for interrupted sweeps.
+
+    A sweep is identified by the digest of its full spec list salted
+    with the models version; its journal lives next to the result cache
+    ([<cache-dir>/manifests/<key>.journal]) and records the sweep's
+    header, every cell's canonical spec, and a [done] line per completed
+    cell.  The journal is bookkeeping, not durability: cell {e results}
+    live in the content-addressed cache the moment each job finishes, so
+    a resumed sweep re-runs only the cells the cache does not hold and
+    produces byte-identical final output.  The journal is what lets
+    [mlc sweep --resume] verify it is resuming the {e same} sweep and
+    report how much of it already ran.
+
+    A journal is removed when its sweep completes with every cell
+    [done]; it is checkpointed (kept, with completed cells appended) on
+    failure or interrupt. *)
+
+type t
+
+(** The sweep's identity: digest of [version] and every canonical spec,
+    in order. *)
+val sweep_key : version:string -> Job.spec array -> string
+
+(** [create ~cache ~resume specs] — opens (or starts) the journal for
+    this spec list under [Cache.dir cache].  With [~resume:true] an
+    existing journal whose header matches is loaded; a missing or
+    mismatched journal (different spec list, different models version)
+    starts fresh. *)
+val create : cache:Cache.t -> resume:bool -> Job.spec array -> t
+
+val path : t -> string
+
+(** Number of cells in the sweep. *)
+val cells : t -> int
+
+(** Cells already recorded [done] by a previous run (0 unless resumed). *)
+val completed : t -> int
+
+(** [checkpoint t ~done_] appends a [done] line for every newly
+    completed cell and flushes the journal to disk.  Errors degrade to
+    not journaling (the cache still holds the results). *)
+val checkpoint : t -> done_:bool array -> unit
+
+(** The sweep finished with every cell done: remove the journal. *)
+val finish : t -> unit
